@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark suite."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure/table producer exactly once under pytest-benchmark.
+
+    The producers are deterministic end-to-end sweeps, not microbenchmark
+    kernels, so one timed round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

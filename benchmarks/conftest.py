@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure at a configurable
+scale (``REPRO_BENCH_SCALE`` = small | medium | full, default small),
+prints the rows the paper reports, and writes them to
+``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import SCALES
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def save_report():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,39 @@
+"""Tragedy-of-the-commons reproduction (paper §1, citing PMBS'21 [46]).
+
+Not a figure of this paper, but the quantitative motivation its
+introduction quotes; the bench reproduces the three static scenarios and
+adds the dynamic-policy resolution.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments.commons import commons_table, tragedy_of_the_commons
+from repro.experiments.report import render_table
+
+
+def test_commons(benchmark, save_report, bench_scale, bench_seed):
+    outcomes = run_once(
+        benchmark,
+        tragedy_of_the_commons,
+        n_jobs=bench_scale.n_jobs,
+        n_nodes=bench_scale.n_nodes,
+        memory_level=50,
+        seed=bench_seed,
+    )
+    headers, rows = commons_table(outcomes)
+    save_report(
+        "commons",
+        render_table(headers, rows,
+                     title="Tragedy of the commons (+60% overestimation, "
+                           "50% memory, static vs dynamic)"),
+    )
+    by_name = {o.name: o for o in outcomes}
+    # Lone overestimator: mild self-penalty, negligible system effect.
+    assert (by_name["lone"].median_response_user
+            <= by_name["everyone"].median_response_user + 1e-9)
+    # Collective overestimation: system-wide degradation.
+    assert (by_name["everyone"].median_response_all
+            > by_name["honest"].median_response_all)
+    # Dynamic provisioning dissolves the tragedy.
+    assert (by_name["everyone+dyn"].median_response_all
+            <= by_name["honest"].median_response_all * 1.1)

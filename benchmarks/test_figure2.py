@@ -1,0 +1,43 @@
+"""Figure 2: sampling the Grizzly trace (week scatter + selection)."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments.figures import figure2_week_sampling
+from repro.experiments.report import render_table
+
+
+def test_figure2(benchmark, save_report, bench_scale, bench_seed):
+    data = run_once(
+        benchmark,
+        figure2_week_sampling,
+        n_weeks=26,
+        n_nodes=bench_scale.grizzly_nodes,
+        k_selected=7,
+        seed=bench_seed,
+    )
+    selected = set(int(i) for i in data["selected"])
+    rows = [
+        [
+            w,
+            float(data["utilization"][w]),
+            float(data["max_node_hours_norm"][w]),
+            float(data["max_memory_norm"][w]),
+            "selected" if w in selected else "",
+        ]
+        for w in range(len(data["utilization"]))
+    ]
+    save_report(
+        "figure2",
+        render_table(
+            ["week", "cpu util", "max nh (norm)", "max mem (norm)", ""],
+            rows,
+            title="Fig. 2: one-week periods; simulated periods selected at "
+            ">=70% utilisation",
+        ),
+    )
+    assert len(selected) == 7
+    for w in selected:
+        assert data["utilization"][w] >= 0.70
+    # The generator produces a spread of utilisations, like the real data.
+    assert np.ptp(data["utilization"]) > 0.2

@@ -1,0 +1,28 @@
+"""Figure 4: memory heatmap distribution versus job size."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments.figures import figure4_memory_heatmap
+from repro.experiments.report import render_heatmap
+
+
+def test_figure4(benchmark, save_report, bench_seed):
+    data = run_once(
+        benchmark, figure4_memory_heatmap, n_jobs=4000, frac_large=0.5,
+        seed=bench_seed,
+    )
+    text = (
+        render_heatmap(data["avg"], "Fig. 4a: average memory usage (% jobs)")
+        + "\n\n"
+        + render_heatmap(data["max"], "Fig. 4b: maximum memory usage (% jobs)")
+    )
+    save_report("figure4", text)
+    bins = np.arange(5)[:, None]
+    # Average usage concentrates in lower bins than maximum usage - the
+    # reclaimable gap the dynamic policy exploits (§3.3.1).
+    assert (data["avg"] * bins).sum() < (data["max"] * bins).sum()
+    # With 50% large-memory jobs, the top bins hold a large share of max
+    # usage but almost none of the average usage (paper Fig. 4a row 5 = 0%).
+    assert data["max"][3:, :].sum() > 25.0
+    assert data["avg"][4, :].sum() < data["max"][4, :].sum()

@@ -1,0 +1,59 @@
+"""Figure 5: normalised throughput vs provisioned memory, per job mix.
+
+Regenerates every panel of the paper's headline figure: six synthetic
+job mixes plus the Grizzly trace, eight memory levels, 0% and +60%
+overestimation, three policies.  Shape assertions check the orderings
+the paper reports.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments.figures import figure5_throughput
+from repro.experiments.report import render_figure5
+
+
+def test_figure5(benchmark, save_report, bench_scale, bench_seed):
+    data = run_once(
+        benchmark,
+        figure5_throughput,
+        scale=bench_scale,
+        seed=bench_seed,
+    )
+    save_report("figure5", render_figure5(data))
+
+    for panel, by_ovr in data.items():
+        # Throughput is jobs over makespan; with the reduced-scale job
+        # counts the last job's tail dominates, and the Grizzly panel has
+        # the longest-tailed durations — give it a wider noise band.
+        # (Dynamic can trail static slightly at +0% when a shrunken job's
+        # freed local DRAM is lent out before the job regrows — it then
+        # regrows remotely and runs slower; the paper sees the same
+        # near-parity at +0%.)
+        slack = 0.10 if panel == "grizzly" else 0.03
+        for ovr, by_level in by_ovr.items():
+            for level, bars in by_level.items():
+                base, stat, dyn = (
+                    bars["baseline"], bars["static"], bars["dynamic"]
+                )
+                # Policy ordering: dynamic >= static >= baseline (within
+                # noise), wherever all ran (Fig. 5's consistent ordering).
+                if stat is not None and base is not None:
+                    assert stat >= base - slack, (panel, ovr, level)
+                if dyn is not None and stat is not None:
+                    assert dyn >= stat - slack, (panel, ovr, level)
+
+    # +60% overestimation: baseline cannot run every job (missing bars)
+    # in panels that contain large-memory jobs.
+    for panel in ("large=50%", "large=100%"):
+        assert all(
+            bars["baseline"] is None for bars in data[panel][0.6].values()
+        ), panel
+
+    # The dynamic-vs-static gap grows as memory shrinks (underprovisioned
+    # systems benefit most): compare the most and least provisioned level
+    # on the 50%-large, +60% panel.
+    by_level = data["large=50%"][0.6]
+    gap_low = by_level[37]["dynamic"] - by_level[37]["static"]
+    gap_high = by_level[100]["dynamic"] - by_level[100]["static"]
+    assert gap_low > gap_high
+    assert gap_low > 0.05  # paper: up to 13%

@@ -1,0 +1,50 @@
+"""Figure 6: ECDF of job response times per provisioning regime."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments.figures import (
+    figure6_median_reductions,
+    figure6_response_ecdf,
+)
+from repro.experiments.report import render_figure6, render_table
+from repro.metrics.response import quantile
+
+
+def test_figure6(benchmark, save_report, bench_scale, bench_seed):
+    data = run_once(
+        benchmark, figure6_response_ecdf, scale=bench_scale, seed=bench_seed,
+    )
+    reductions = figure6_median_reductions(data)
+
+    # Print the quantile series the ECDF plot encodes.
+    rows = []
+    for regime, by_ovr in data.items():
+        for ovr, curves in by_ovr.items():
+            for policy, (x, _) in curves.items():
+                rows.append(
+                    [regime, f"+{int(ovr*100)}%", policy]
+                    + [quantile(x, q) for q in (0.25, 0.5, 0.75, 0.95)]
+                )
+    text = render_table(
+        ["regime", "overest", "policy", "q25 (s)", "median (s)", "q75 (s)",
+         "q95 (s)"],
+        rows,
+        title="Fig. 6: response-time quantiles (ECDF summary)",
+    )
+    save_report("figure6", text + "\n\n" + render_figure6(reductions))
+
+    # Shape: with +60% overestimation the dynamic policy cuts the median
+    # most on the underprovisioned system (paper: up to 69%).
+    assert reductions["underprovisioned"][0.6] > 0.2
+    assert (
+        reductions["underprovisioned"][0.6]
+        > reductions["overprovisioned"][0.6] - 0.02
+    )
+    # At +0% the paper sees near-parity (<=5% quantile gap).  Our
+    # synthetic usage curves have a larger peak-to-average gap, so
+    # dynamic may already *help* at +0% (recorded in EXPERIMENTS.md);
+    # what must hold is that it never makes response times materially
+    # worse in any regime.
+    for regime in reductions:
+        assert reductions[regime][0.0] > -0.15, regime

@@ -1,0 +1,40 @@
+"""Figure 7: cost-benefit analysis (throughput per dollar)."""
+
+from bench_utils import run_once
+
+from repro.experiments.figures import figure7_cost_benefit
+from repro.experiments.report import render_figure7
+
+
+def test_figure7(benchmark, save_report, bench_scale, bench_seed):
+    data = run_once(
+        benchmark, figure7_cost_benefit, scale=bench_scale, seed=bench_seed,
+    )
+    save_report("figure7", render_figure7(data))
+
+    # At +0% overestimation and few large jobs, an underprovisioned
+    # system beats the fully provisioned one per dollar (paper: choosing
+    # 25% memory over 100% improves throughput/$ by ~8% at 0% large).
+    full = data["100%"][0.0][0.0]["dynamic"]
+    lean = data["25%"][0.0][0.0]["dynamic"]
+    assert lean is not None and full is not None
+    assert lean > full
+
+    # With +60% overestimation and many large jobs the static policy's
+    # throughput/$ falls off harder than dynamic on lean systems.
+    for sys_name in ("50%", "25%"):
+        bars = data[sys_name][0.6]
+        worst_mix = max(m for m in bars)
+        stat = bars[worst_mix]["static"]
+        dyn = bars[worst_mix]["dynamic"]
+        if stat is not None and dyn is not None:
+            assert dyn >= stat * 0.98, (sys_name, worst_mix)
+
+    # Dynamic never does materially worse than static anywhere.
+    for sys_name, by_ovr in data.items():
+        for ovr, by_mix in by_ovr.items():
+            for mix, bars in by_mix.items():
+                if bars["static"] is not None and bars["dynamic"] is not None:
+                    assert bars["dynamic"] >= bars["static"] * 0.93, (
+                        sys_name, ovr, mix,
+                    )

@@ -1,0 +1,17 @@
+"""Table 1: trace field coverage (provenance matrix)."""
+
+from bench_utils import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1_trace_summary
+
+
+def test_table1(benchmark, save_report):
+    rows = run_once(benchmark, table1_trace_summary)
+    headers = list(rows[0].keys())
+    save_report(
+        "table1",
+        render_table(headers, [[r[h] for h in headers] for r in rows],
+                     title="Table 1: summary of data provided by the traces"),
+    )
+    assert {r["trace"] for r in rows} == {"Grizzly", "CIRNE", "Google"}

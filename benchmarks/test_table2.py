@@ -1,0 +1,24 @@
+"""Table 2: max memory usage per node distribution."""
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.experiments.report import render_table2
+from repro.experiments.tables import PAPER_TABLE2, table2_memory_distribution
+
+
+def test_table2(benchmark, save_report, bench_seed):
+    data = run_once(
+        benchmark,
+        table2_memory_distribution,
+        n_samples=30000,
+        grizzly_weeks=2,
+        grizzly_nodes=256,
+        seed=bench_seed,
+    )
+    save_report("table2", render_table2(data))
+    # Shape check: synthetic columns track the published ARCHER values.
+    for klass in ("all", "small", "large"):
+        measured = data["synthetic"][klass]
+        paper = PAPER_TABLE2[("synthetic", klass)]
+        assert np.abs(np.asarray(measured) - np.asarray(paper)).max() < 2.5

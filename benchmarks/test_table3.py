@@ -1,0 +1,26 @@
+"""Table 3: normal and large memory job characteristics."""
+
+from bench_utils import run_once
+
+from repro.experiments.report import render_table3
+from repro.experiments.tables import PAPER_TABLE3, table3_job_characteristics
+from repro.traces.archer import LARGE_MEMORY_THRESHOLD_MB
+
+
+def test_table3(benchmark, save_report, bench_seed):
+    stats = run_once(
+        benchmark,
+        table3_job_characteristics,
+        n_jobs=4000,
+        frac_large=0.5,
+        seed=bench_seed,
+    )
+    save_report("table3", render_table3(stats))
+    # Class boundary at 64 GB, as in the paper.
+    assert stats["normal"]["memory_mb"][4] <= LARGE_MEMORY_THRESHOLD_MB
+    assert stats["large"]["memory_mb"][0] > LARGE_MEMORY_THRESHOLD_MB
+    # Medians track the published quartiles.
+    assert abs(stats["normal"]["memory_mb"][2]
+               - PAPER_TABLE3["normal"]["memory_mb"][2]) < 2500
+    assert abs(stats["large"]["memory_mb"][2]
+               - PAPER_TABLE3["large"]["memory_mb"][2]) < 5000

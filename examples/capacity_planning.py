@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Capacity planning with dynamic provisioning (paper Fig. 7 & 9, §4.3/4.5).
+
+An operator must choose how much disaggregated memory to buy.  This
+example answers two questions the paper's cost–benefit analysis poses:
+
+1. What is the cheapest memory provisioning that still delivers >=95% of
+   the fully provisioned throughput (Fig. 9)?
+2. How many jobs per second per dollar does each configuration deliver,
+   and how much capital does dynamic provisioning save (Fig. 7)?
+
+Run:  python examples/capacity_planning.py [--scale small|medium]
+"""
+
+import argparse
+
+from repro.core.config import SystemConfig
+from repro.experiments import SCALES, figure7_cost_benefit, figure9_min_memory
+from repro.experiments.report import render_figure7, render_figure9
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--threshold", type=float, default=0.95)
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    # Fig. 9: minimum memory meeting the throughput SLO.
+    fig9 = figure9_min_memory(
+        scale=scale,
+        overestimations=(0.0, 0.6, 1.0),
+        threshold=args.threshold,
+    )
+    print(render_figure9(fig9))
+
+    # Translate the saved provisioning into dollars.
+    for ovr in (0.6,):
+        s_level, d_level = fig9["static"].get(ovr), fig9["dynamic"].get(ovr)
+        if s_level and d_level:
+            cost_s = SystemConfig.from_memory_level(
+                s_level, n_nodes=scale.n_nodes
+            ).cluster_cost_usd()
+            cost_d = SystemConfig.from_memory_level(
+                d_level, n_nodes=scale.n_nodes
+            ).cluster_cost_usd()
+            print(
+                f"\nAt +{ovr:.0%} overestimation, meeting the "
+                f"{args.threshold:.0%} throughput SLO costs "
+                f"${cost_s:,.0f} (static, {s_level}% memory) vs "
+                f"${cost_d:,.0f} (dynamic, {d_level}% memory): "
+                f"{1 - cost_d / cost_s:.1%} capital saved."
+            )
+
+    # Fig. 7: throughput per dollar across job mixes.
+    print()
+    fig7 = figure7_cost_benefit(
+        scale=scale,
+        systems={"100%": 100, "50%": 50},
+        mixes=(0.0, 0.5, 1.0),
+        overestimations=(0.0, 0.6),
+    )
+    print(render_figure7(fig7))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Overestimation study (paper Fig. 8, §4.4).
+
+Users overestimate memory requests to avoid out-of-memory kills; prior
+work showed a tragedy-of-the-commons where everyone overestimating
+collapses system throughput.  This example sweeps the overestimation
+factor from +0% to +100% on an underprovisioned system (50% large-memory
+jobs) and shows that the dynamic policy is nearly insensitive to
+overestimation while the static policy degrades steeply.
+
+Run:  python examples/overestimation_study.py [--scale small|medium]
+"""
+
+import argparse
+
+from repro.experiments import SCALES, figure8_overestimation
+from repro.experiments.report import render_figure5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument(
+        "--levels", type=int, nargs="+", default=[37, 50, 62, 75, 100],
+        help="memory provisioning levels (%% of all-128GB system)",
+    )
+    args = parser.parse_args()
+
+    data = figure8_overestimation(
+        scale=SCALES[args.scale],
+        overestimations=(0.0, 0.25, 0.5, 0.6, 0.75, 1.0),
+        memory_levels=tuple(args.levels),
+        include_grizzly=False,
+    )
+    print(render_figure5(data))
+
+    # Headline: gap at the most underprovisioned level, worst overestimation.
+    low = min(args.levels)
+    bars = data["large=50%"][1.0][low]
+    static, dynamic = bars["static"], bars["dynamic"]
+    if static and dynamic:
+        print(
+            f"\nAt {low}% memory and +100% overestimation the dynamic policy "
+            f"delivers {dynamic / static - 1:+.0%} throughput vs static "
+            f"(paper: >38% at 37% memory)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Trace-generation pipeline walkthrough (paper Fig. 3, §3.2).
+
+Runs the full nine-step methodology — CIRNE geometry, profile matching,
+ARCHER-distribution memory requests, Google-donor usage curves, RDP
+compression — then characterises the result exactly as the paper does:
+the Table 3 quartiles, the Fig. 4 heatmaps, and the Table 2 memory
+distribution.  Finally exports the trace to Standard Workload Format for
+use with external Slurm tooling.
+
+Run:  python examples/trace_pipeline.py [--jobs 2000] [--out trace.swf]
+"""
+
+import argparse
+
+from repro import synthetic_workload
+from repro.experiments.report import render_heatmap, render_table2, render_table3
+from repro.experiments.tables import table2_memory_distribution
+from repro.traces.grizzly import generate_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2000)
+    parser.add_argument("--frac-large", type=float, default=0.5)
+    parser.add_argument("--out", default=None, help="optional SWF output path")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workload = synthetic_workload(
+        n_jobs=args.jobs, frac_large=args.frac_large, seed=args.seed
+    )
+    print(
+        f"Generated {len(workload)} jobs "
+        f"({workload.frac_large_memory():.0%} large-memory)\n"
+    )
+
+    print(render_table3(workload.memory_class_stats()))
+    print()
+    print(render_heatmap(workload.memory_heatmap("avg"),
+                         "Fig. 4a: average memory usage (% of jobs)"))
+    print()
+    print(render_heatmap(workload.memory_heatmap("max"),
+                         "Fig. 4b: maximum memory usage (% of jobs)"))
+    print()
+    print(render_table2(table2_memory_distribution(seed=args.seed)))
+
+    # Fig. 2 ingredient: week-level stats of a Grizzly-like dataset.
+    dataset = generate_dataset(n_weeks=6, n_nodes=256, seed=args.seed)
+    utils = ", ".join(f"{u:.0%}" for u in dataset.utilizations())
+    print(f"\nGrizzly-like dataset: 6 weeks with CPU utilisations {utils}")
+
+    if args.out:
+        workload.to_swf().write(args.out)
+        print(f"\nWrote SWF trace to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

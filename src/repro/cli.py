@@ -1,0 +1,412 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the library's main workflows:
+
+* ``generate`` — build a synthetic or Grizzly-like workload and save it
+  (JSON, optionally gzipped; SWF export for external Slurm tooling);
+* ``simulate`` — run one policy on a system configuration over a saved
+  or freshly generated workload;
+* ``figure`` / ``table`` — regenerate any of the paper's figures/tables
+  and print the report;
+* ``inspect`` — characterise a saved workload (Table 2/3 style).
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import MEMORY_LEVELS, SystemConfig
+from .experiments import figures as _figures
+from .experiments import tables as _tables
+from .experiments.report import (
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure9,
+    render_heatmap,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from .experiments.scenarios import SCALES
+from .scheduler.simulator import simulate as _simulate
+from .traces.io import (
+    load_workload,
+    result_records_csv,
+    save_result,
+    save_workload,
+)
+from .traces.pipeline import grizzly_workload, synthetic_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic memory provisioning on disaggregated HPC "
+        "systems (SC-W 2023) - reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------------
+    gen = sub.add_parser("generate", help="generate a workload trace")
+    gen.add_argument("--kind", choices=("synthetic", "grizzly"),
+                     default="synthetic")
+    gen.add_argument("--jobs", type=int, default=1000)
+    gen.add_argument("--nodes", type=int, default=1024,
+                     help="system size the trace targets")
+    gen.add_argument("--frac-large", type=float, default=0.25,
+                     help="fraction of large-memory jobs (synthetic only)")
+    gen.add_argument("--overestimation", type=float, default=0.0)
+    gen.add_argument("--utilization", type=float, default=0.80)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True,
+                     help="output path (.json or .json.gz)")
+    gen.add_argument("--swf", help="also export to this SWF path")
+
+    # ------------------------------------------------------------------
+    sim = sub.add_parser("simulate", help="run one scheduling simulation")
+    sim.add_argument("--workload", help="saved workload (from 'generate')")
+    sim.add_argument("--jobs", type=int, default=500,
+                     help="jobs to generate when no workload file is given")
+    sim.add_argument("--frac-large", type=float, default=0.25)
+    sim.add_argument("--overestimation", type=float, default=0.0)
+    sim.add_argument("--policy", choices=("baseline", "static", "dynamic"),
+                     default="dynamic")
+    sim.add_argument("--nodes", type=int, default=256)
+    sim.add_argument("--memory-level", type=int, default=100,
+                     choices=sorted(MEMORY_LEVELS))
+    sim.add_argument("--update-interval", type=float, default=300.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--out", help="write the result JSON here")
+    sim.add_argument("--csv", help="write per-job records CSV here")
+    sim.add_argument("--timeline", action="store_true",
+                     help="render an ASCII occupancy strip and Gantt chart")
+
+    # ------------------------------------------------------------------
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(2, 4, 5, 6, 7, 8, 9))
+    fig.add_argument("--scale", choices=sorted(SCALES), default="small")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--plot", action="store_true",
+                     help="also render an ASCII plot of the figure")
+    fig.add_argument("--csv", metavar="PATH",
+                     help="also write the figure data as tidy CSV")
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", type=int, choices=(1, 2, 3))
+    tab.add_argument("--seed", type=int, default=0)
+
+    # ------------------------------------------------------------------
+    ins = sub.add_parser("inspect", help="characterise a saved workload")
+    ins.add_argument("workload")
+
+    val = sub.add_parser(
+        "validate",
+        help="check a saved workload against the paper's statistics",
+    )
+    val.add_argument("workload")
+    val.add_argument("--tolerance", type=float, default=0.35,
+                     help="allowed relative deviation of Table 3 quartiles")
+
+    sw = sub.add_parser("sweep", help="run an ad-hoc scenario sweep")
+    sw.add_argument("--policy", nargs="+",
+                    default=["static", "dynamic"],
+                    choices=("baseline", "static", "dynamic"))
+    sw.add_argument("--memory-level", nargs="+", type=int,
+                    default=[50, 75, 100], choices=sorted(MEMORY_LEVELS))
+    sw.add_argument("--frac-large", nargs="+", type=float, default=[0.5])
+    sw.add_argument("--overestimation", nargs="+", type=float, default=[0.6])
+    sw.add_argument("--nodes", type=int, default=96)
+    sw.add_argument("--jobs", type=int, default=250)
+    sw.add_argument("--seed", type=int, default=0)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a resumable full-grid campaign (JSONL checkpointing)",
+    )
+    camp.add_argument("grid", choices=("fig5", "fig8"))
+    camp.add_argument("--out", required=True, help="JSONL checkpoint path")
+    camp.add_argument("--scale", choices=sorted(SCALES), default="medium")
+    camp.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    if args.kind == "grizzly":
+        wl = grizzly_workload(
+            overestimation=args.overestimation,
+            n_system_nodes=args.nodes,
+            scale_jobs=args.jobs,
+            seed=args.seed,
+        )
+    else:
+        wl = synthetic_workload(
+            n_jobs=args.jobs,
+            frac_large=args.frac_large,
+            overestimation=args.overestimation,
+            target_utilization=args.utilization,
+            n_system_nodes=args.nodes,
+            seed=args.seed,
+        )
+    save_workload(wl, args.out)
+    print(f"wrote {len(wl)} jobs to {args.out} "
+          f"({wl.frac_large_memory():.0%} large-memory)")
+    if args.swf:
+        wl.to_swf().write(args.swf)
+        print(f"wrote SWF trace to {args.swf}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.workload:
+        wl = load_workload(args.workload)
+        jobs = wl.fresh_jobs()
+        profiles = wl.profiles
+    else:
+        wl = synthetic_workload(
+            n_jobs=args.jobs,
+            frac_large=args.frac_large,
+            overestimation=args.overestimation,
+            n_system_nodes=args.nodes,
+            seed=args.seed,
+        )
+        jobs = wl.jobs
+        profiles = wl.profiles
+    config = SystemConfig.from_memory_level(
+        args.memory_level, n_nodes=args.nodes,
+        update_interval=args.update_interval,
+    )
+    result = _simulate(
+        jobs, config, policy=args.policy, profiles=profiles,
+        sample_interval=300.0 if args.timeline else None,
+    )
+    rows = [[k, v] for k, v in result.summary().items()]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.policy} on {args.memory_level}% memory, "
+                             f"{args.nodes} nodes"))
+    if args.timeline:
+        from .experiments.timeline import render_run
+
+        print()
+        print(render_run(result))
+    if args.out:
+        save_result(result, args.out)
+        print(f"wrote result to {args.out}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(result_records_csv(result))
+        print(f"wrote per-job CSV to {args.csv}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments.plots import ascii_bars, ascii_ecdf, ascii_scatter
+
+    scale = SCALES[args.scale]
+    n = args.number
+
+    def maybe_csv(text: str) -> None:
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write(text)
+            print(f"wrote CSV to {args.csv}")
+    if n == 2:
+        data = _figures.figure2_week_sampling(
+            n_nodes=scale.grizzly_nodes, seed=args.seed
+        )
+        selected = set(int(i) for i in data["selected"])
+        rows = [
+            [w, float(data["utilization"][w]),
+             float(data["max_node_hours_norm"][w]),
+             float(data["max_memory_norm"][w]),
+             "selected" if w in selected else ""]
+            for w in range(len(data["utilization"]))
+        ]
+        print(render_table(
+            ["week", "cpu util", "max nh", "max mem", ""], rows,
+            title="Fig. 2: week sampling"))
+        if args.plot:
+            hl = [w in selected for w in range(len(data["utilization"]))]
+            print()
+            print(ascii_scatter(
+                data["utilization"], data["max_memory_norm"], highlight=hl,
+                title="Fig. 2 (right): max memory vs CPU utilisation",
+                xlabel="CPU utilisation",
+            ))
+    elif n == 4:
+        from .experiments.export import heatmap_csv
+
+        data = _figures.figure4_memory_heatmap(seed=args.seed)
+        print(render_heatmap(data["avg"], "Fig. 4a: average memory usage"))
+        print()
+        print(render_heatmap(data["max"], "Fig. 4b: maximum memory usage"))
+        maybe_csv(heatmap_csv(data["avg"], "avg") + heatmap_csv(data["max"], "max"))
+    elif n in (5, 8):
+        from .experiments.export import figure5_csv
+
+        if n == 5:
+            data = _figures.figure5_throughput(scale=scale, seed=args.seed)
+        else:
+            data = _figures.figure8_overestimation(scale=scale, seed=args.seed)
+        print(render_figure5(data))
+        maybe_csv(figure5_csv(data))
+        if args.plot:
+            # Plot the most telling panel: highest overestimation row of
+            # the 50%-large panel.
+            panel = data.get("large=50%") or next(iter(data.values()))
+            ovr = max(panel)
+            levels = sorted(panel[ovr])
+            series = {
+                policy: [panel[ovr][lvl].get(policy) for lvl in levels]
+                for policy in ("baseline", "static", "dynamic")
+            }
+            print()
+            print(ascii_bars(
+                levels, series, vmax=1.0,
+                title=f"normalised throughput at +{int(ovr*100)}% "
+                      "overestimation (50% large jobs)",
+            ))
+    elif n == 6:
+        from .experiments.export import figure6_csv
+
+        data = _figures.figure6_response_ecdf(scale=scale, seed=args.seed)
+        print(render_figure6(_figures.figure6_median_reductions(data)))
+        maybe_csv(figure6_csv(data))
+        if args.plot:
+            curves = data["underprovisioned"][max(
+                data["underprovisioned"])]
+            print()
+            print(ascii_ecdf(
+                curves,
+                title="Fig. 6 (bottom right): response-time ECDF, "
+                      "underprovisioned, +60%",
+            ))
+    elif n == 7:
+        from .experiments.export import figure7_csv
+
+        data = _figures.figure7_cost_benefit(scale=scale, seed=args.seed)
+        print(render_figure7(data))
+        maybe_csv(figure7_csv(data))
+    elif n == 9:
+        from .experiments.export import figure9_csv
+
+        data = _figures.figure9_min_memory(scale=scale, seed=args.seed)
+        print(render_figure9(data))
+        maybe_csv(figure9_csv(data))
+        if args.plot:
+            overs = sorted(data["static"])
+            series = {
+                policy: [data[policy][o] for o in overs]
+                for policy in ("static", "dynamic")
+            }
+            print()
+            print(ascii_bars(
+                [f"+{int(o*100)}%" for o in overs], series,
+                title="Fig. 9: min memory % for the 95% throughput SLO",
+            ))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    n = args.number
+    if n == 1:
+        rows = _tables.table1_trace_summary()
+        headers = list(rows[0].keys())
+        print(render_table(headers, [[r[h] for h in headers] for r in rows],
+                           title="Table 1"))
+    elif n == 2:
+        print(render_table2(_tables.table2_memory_distribution(seed=args.seed)))
+    elif n == 3:
+        print(render_table3(_tables.table3_job_characteristics(seed=args.seed)))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    wl = load_workload(args.workload)
+    print(f"{len(wl)} jobs; {wl.frac_large_memory():.1%} large-memory")
+    for key, value in wl.meta.items():
+        print(f"  {key}: {value}")
+    print()
+    print(render_table3(wl.memory_class_stats()))
+    print()
+    print(render_heatmap(wl.memory_heatmap("max"),
+                         "Maximum memory usage (% of jobs)"))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments.validate import validate_workload
+
+    wl = load_workload(args.workload)
+    report = validate_workload(wl, quartile_tolerance=args.tolerance)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.scenarios import Scenario
+    from .experiments.sweep import sweep, sweep_table
+
+    base = Scenario(n_nodes=args.nodes, n_jobs=args.jobs, seed=args.seed)
+    records = sweep(
+        base,
+        policy=args.policy,
+        memory_level=args.memory_level,
+        frac_large=args.frac_large,
+        overestimation=args.overestimation,
+    )
+    headers, rows = sweep_table(records)
+    print(render_table(headers, rows, title="Scenario sweep"))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .experiments.campaign import (
+        fig5_scenarios,
+        fig8_scenarios,
+        run_campaign,
+    )
+
+    scale = SCALES[args.scale]
+    grid = (
+        fig5_scenarios(scale=scale, seed=args.seed)
+        if args.grid == "fig5"
+        else fig8_scenarios(scale=scale, seed=args.seed)
+    )
+    print(f"{args.grid}: {len(grid)} scenarios at scale {args.scale}; "
+          f"checkpointing to {args.out}")
+
+    def progress(i, n, sc):
+        print(f"[{i}/{n}] {sc.policy} mem={sc.memory_level}% "
+              f"large={sc.frac_large:.0%} ovr=+{sc.overestimation:.0%}")
+
+    run_campaign(grid, args.out, progress=progress)
+    print("campaign complete")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+    "inspect": _cmd_inspect,
+    "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
+    "campaign": _cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

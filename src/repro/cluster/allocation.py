@@ -1,0 +1,73 @@
+"""Per-job memory allocation records.
+
+A running job holds a :class:`JobAllocation`: the set of compute nodes it
+occupies, how much memory each compute node serves locally, and — for
+disaggregated policies — how much it borrows from which lender nodes on
+behalf of each compute node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class JobAllocation:
+    """Memory layout of one running job.
+
+    Attributes
+    ----------
+    nodes:
+        Compute nodes (indices) the job runs on; CPUs are exclusive.
+    local_mb:
+        Per compute node, memory served from that node's own DRAM.
+    remote_mb:
+        Per compute node, a map ``lender node -> MB`` borrowed from the
+        disaggregated pool on that lender.
+    """
+
+    nodes: List[int] = field(default_factory=list)
+    local_mb: Dict[int, int] = field(default_factory=dict)
+    remote_mb: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def local_on(self, node: int) -> int:
+        return self.local_mb.get(node, 0)
+
+    def remote_on(self, node: int) -> int:
+        return sum(self.remote_mb.get(node, {}).values())
+
+    def total_on(self, node: int) -> int:
+        return self.local_on(node) + self.remote_on(node)
+
+    def total_local(self) -> int:
+        return sum(self.local_mb.values())
+
+    def total_remote(self) -> int:
+        return sum(sum(m.values()) for m in self.remote_mb.values())
+
+    def total(self) -> int:
+        return self.total_local() + self.total_remote()
+
+    def remote_fraction(self) -> float:
+        """Fraction of the job's allocated memory that is remote."""
+        tot = self.total()
+        if tot == 0:
+            return 0.0
+        return self.total_remote() / tot
+
+    def lenders(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(lender node, MB)`` aggregated over compute nodes."""
+        agg: Dict[int, int] = {}
+        for m in self.remote_mb.values():
+            for lender, mb in m.items():
+                agg[lender] = agg.get(lender, 0) + mb
+        yield from agg.items()
+
+    def copy(self) -> "JobAllocation":
+        return JobAllocation(
+            nodes=list(self.nodes),
+            local_mb=dict(self.local_mb),
+            remote_mb={n: dict(m) for n, m in self.remote_mb.items()},
+        )

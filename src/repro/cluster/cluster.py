@@ -1,0 +1,297 @@
+"""Cluster state: columnar node ledgers with exact memory accounting.
+
+All memory book-keeping is integer MB.  Three per-node ledgers describe the
+state:
+
+* ``local_used_mb`` — DRAM consumed by the job running *on* that node,
+* ``lent_mb``       — DRAM lent to jobs running on *other* nodes,
+* ``free local``    — ``capacity − local_used − lent`` (derived).
+
+Invariants (asserted by :meth:`Cluster.check_invariants` and
+property-tested):
+
+* every ledger entry is non-negative and ``local_used + lent ≤ capacity``;
+* the sum of all lent memory equals the sum of all borrowed memory across
+  the live :class:`~repro.cluster.allocation.JobAllocation` records;
+* a node runs at most one job (nodes are CPU-exclusive, paper §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.config import SystemConfig
+from ..core.errors import AllocationError
+from .allocation import JobAllocation
+from .node import Node
+
+
+class Cluster:
+    """Mutable cluster state shared by scheduler and allocation policies."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        n = config.n_nodes
+        n_large = config.n_large_nodes
+        # Large nodes occupy the lowest indices (deterministic layout).
+        self.is_large = np.zeros(n, dtype=bool)
+        self.is_large[:n_large] = True
+        self.capacity_mb = np.where(
+            self.is_large, config.large_mem_mb, config.normal_mem_mb
+        ).astype(np.int64)
+        self.local_used_mb = np.zeros(n, dtype=np.int64)
+        self.lent_mb = np.zeros(n, dtype=np.int64)
+        self.busy = np.zeros(n, dtype=bool)
+        self.job_on_node = np.full(n, -1, dtype=np.int64)
+        #: live allocations by job id
+        self.allocations: Dict[int, JobAllocation] = {}
+        #: per lender node: job id -> MB currently borrowed from it
+        self.lender_jobs: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._torus = None
+        self._distance_rows: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Interconnect (lazy; used by topology-aware lending and the optional
+    # distance term of the slowdown model)
+    # ------------------------------------------------------------------
+    @property
+    def torus(self):
+        if self._torus is None:
+            from .interconnect import Torus
+
+            self._torus = Torus.for_nodes(self.config.n_nodes)
+        return self._torus
+
+    def distance_row(self, node: int) -> np.ndarray:
+        """Hop distances from ``node`` to every node (cached per node)."""
+        row = self._distance_rows.get(node)
+        if row is None:
+            row = self.torus.distance_row(node, self.n_nodes)
+            self._distance_rows[node] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def node(self, index: int) -> Node:
+        return Node(self, index)
+
+    def free_local(self) -> np.ndarray:
+        """Physically free DRAM per node (vector)."""
+        return self.capacity_mb - self.local_used_mb - self.lent_mb
+
+    def is_memory_node(self) -> np.ndarray:
+        """Mask of nodes that lent more than half their capacity."""
+        return self.lent_mb * 2 > self.capacity_mb
+
+    def startable(self) -> np.ndarray:
+        """Mask of nodes on which a new job may start (idle, not a memory node)."""
+        return (~self.busy) & ~self.is_memory_node()
+
+    def n_idle(self) -> int:
+        return int((~self.busy).sum())
+
+    def total_capacity_mb(self) -> int:
+        return int(self.capacity_mb.sum())
+
+    def total_allocated_mb(self) -> int:
+        return int(self.local_used_mb.sum() + self.lent_mb.sum())
+
+    def memory_utilization(self) -> float:
+        cap = self.total_capacity_mb()
+        return self.total_allocated_mb() / cap if cap else 0.0
+
+    def cpu_utilization(self) -> float:
+        return float(self.busy.sum()) / self.n_nodes if self.n_nodes else 0.0
+
+    def borrowers_of(self, lender: int) -> Dict[int, int]:
+        """Jobs currently borrowing from ``lender`` (job id -> MB)."""
+        return self.lender_jobs[lender]
+
+    # ------------------------------------------------------------------
+    # Whole-allocation apply / release
+    # ------------------------------------------------------------------
+    def apply(self, jid: int, alloc: JobAllocation) -> None:
+        """Commit ``alloc`` for job ``jid``, updating every ledger."""
+        if jid in self.allocations:
+            raise AllocationError(f"job {jid} already has an allocation")
+        # Validate before mutating anything.
+        for node in alloc.nodes:
+            if self.busy[node]:
+                raise AllocationError(f"node {node} is busy (job {jid})")
+        free = self.free_local()
+        for node, mb in alloc.local_mb.items():
+            if mb < 0 or node not in alloc.nodes:
+                raise AllocationError(f"bad local allocation {mb}MB on node {node}")
+            if mb > free[node]:
+                raise AllocationError(
+                    f"node {node} has {free[node]}MB free, need {mb}MB (job {jid})"
+                )
+        borrow_totals: Dict[int, int] = {}
+        for node, lender_map in alloc.remote_mb.items():
+            if node not in alloc.nodes:
+                raise AllocationError(f"remote map for non-compute node {node}")
+            for lender, mb in lender_map.items():
+                if mb <= 0:
+                    raise AllocationError(f"non-positive borrow {mb}MB from {lender}")
+                if lender == node:
+                    raise AllocationError(
+                        f"node {node} cannot lend remote memory to itself"
+                    )
+                borrow_totals[lender] = borrow_totals.get(lender, 0) + mb
+        for lender, mb in borrow_totals.items():
+            # A lender that is also a compute node of this job must cover
+            # both its planned local allocation and the lent memory.
+            lendable = int(free[lender]) - alloc.local_mb.get(lender, 0)
+            if mb > lendable:
+                raise AllocationError(
+                    f"lender {lender} has {lendable}MB lendable, need {mb}MB"
+                )
+        # Commit.
+        for node in alloc.nodes:
+            self.busy[node] = True
+            self.job_on_node[node] = jid
+        for node, mb in alloc.local_mb.items():
+            self.local_used_mb[node] += mb
+        for lender, mb in borrow_totals.items():
+            self.lent_mb[lender] += mb
+            self.lender_jobs[lender][jid] = (
+                self.lender_jobs[lender].get(jid, 0) + mb
+            )
+        self.allocations[jid] = alloc
+
+    def release(self, jid: int) -> JobAllocation:
+        """Release all resources of job ``jid`` and return its allocation."""
+        alloc = self.allocations.pop(jid, None)
+        if alloc is None:
+            raise AllocationError(f"job {jid} has no allocation to release")
+        for node in alloc.nodes:
+            self.busy[node] = False
+            self.job_on_node[node] = -1
+        for node, mb in alloc.local_mb.items():
+            self.local_used_mb[node] -= mb
+        for node, lender_map in alloc.remote_mb.items():
+            for lender, mb in lender_map.items():
+                self.lent_mb[lender] -= mb
+                rec = self.lender_jobs[lender]
+                rec[jid] -= mb
+                if rec[jid] <= 0:
+                    del rec[jid]
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Incremental resizing (dynamic policy)
+    # ------------------------------------------------------------------
+    def grow_local(self, jid: int, node: int, mb: int) -> None:
+        """Give job ``jid`` ``mb`` more local DRAM on ``node``."""
+        alloc = self._alloc_of(jid, node)
+        if mb <= 0:
+            raise AllocationError(f"grow_local needs positive MB, got {mb}")
+        free = int(self.capacity_mb[node] - self.local_used_mb[node] - self.lent_mb[node])
+        if mb > free:
+            raise AllocationError(f"node {node}: {free}MB free, need {mb}MB")
+        self.local_used_mb[node] += mb
+        alloc.local_mb[node] = alloc.local_mb.get(node, 0) + mb
+
+    def shrink_local(self, jid: int, node: int, mb: int) -> None:
+        """Take ``mb`` of local DRAM on ``node`` back from job ``jid``."""
+        alloc = self._alloc_of(jid, node)
+        have = alloc.local_mb.get(node, 0)
+        if mb <= 0 or mb > have:
+            raise AllocationError(
+                f"shrink_local {mb}MB invalid; job {jid} holds {have}MB on {node}"
+            )
+        self.local_used_mb[node] -= mb
+        alloc.local_mb[node] = have - mb
+
+    def add_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
+        """Borrow ``mb`` from ``lender`` on behalf of compute node ``node``."""
+        alloc = self._alloc_of(jid, node)
+        if mb <= 0:
+            raise AllocationError(f"add_remote needs positive MB, got {mb}")
+        if lender == node:
+            raise AllocationError(f"node {node} cannot lend remote memory to itself")
+        free = int(
+            self.capacity_mb[lender] - self.local_used_mb[lender] - self.lent_mb[lender]
+        )
+        if mb > free:
+            raise AllocationError(f"lender {lender}: {free}MB free, need {mb}MB")
+        self.lent_mb[lender] += mb
+        self.lender_jobs[lender][jid] = self.lender_jobs[lender].get(jid, 0) + mb
+        node_map = alloc.remote_mb.setdefault(node, {})
+        node_map[lender] = node_map.get(lender, 0) + mb
+
+    def remove_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
+        """Return ``mb`` borrowed from ``lender`` for compute node ``node``."""
+        alloc = self._alloc_of(jid, node)
+        node_map = alloc.remote_mb.get(node, {})
+        have = node_map.get(lender, 0)
+        if mb <= 0 or mb > have:
+            raise AllocationError(
+                f"remove_remote {mb}MB invalid; borrowing {have}MB from {lender}"
+            )
+        self.lent_mb[lender] -= mb
+        rec = self.lender_jobs[lender]
+        rec[jid] -= mb
+        if rec[jid] <= 0:
+            del rec[jid]
+        node_map[lender] = have - mb
+        if node_map[lender] == 0:
+            del node_map[lender]
+        if not node_map and node in alloc.remote_mb:
+            del alloc.remote_mb[node]
+
+    def _alloc_of(self, jid: int, node: int) -> JobAllocation:
+        alloc = self.allocations.get(jid)
+        if alloc is None:
+            raise AllocationError(f"job {jid} is not allocated")
+        if node not in alloc.nodes:
+            raise AllocationError(f"node {node} is not a compute node of job {jid}")
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`AllocationError` if any ledger invariant is broken."""
+        if (self.local_used_mb < 0).any() or (self.lent_mb < 0).any():
+            raise AllocationError("negative ledger entry")
+        if (self.local_used_mb + self.lent_mb > self.capacity_mb).any():
+            raise AllocationError("node over-committed beyond capacity")
+        # Cross-check allocations against ledgers.
+        local = np.zeros(self.n_nodes, dtype=np.int64)
+        lent = np.zeros(self.n_nodes, dtype=np.int64)
+        busy_nodes: set[int] = set()
+        for jid, alloc in self.allocations.items():
+            for node in alloc.nodes:
+                if node in busy_nodes:
+                    raise AllocationError(f"node {node} allocated to two jobs")
+                busy_nodes.add(node)
+                if self.job_on_node[node] != jid:
+                    raise AllocationError(f"job_on_node[{node}] != {jid}")
+            for node, mb in alloc.local_mb.items():
+                local[node] += mb
+            for node, lender_map in alloc.remote_mb.items():
+                for lender, mb in lender_map.items():
+                    lent[lender] += mb
+                    if self.lender_jobs[lender].get(jid, 0) < mb - sum(
+                        m.get(lender, 0)
+                        for n2, m in alloc.remote_mb.items()
+                        if n2 != node
+                    ):
+                        pass  # aggregate check below covers totals
+        if not np.array_equal(local, self.local_used_mb):
+            raise AllocationError("local_used ledger out of sync with allocations")
+        if not np.array_equal(lent, self.lent_mb):
+            raise AllocationError("lent ledger out of sync with allocations")
+        if busy_nodes != set(np.flatnonzero(self.busy)):
+            raise AllocationError("busy mask out of sync with allocations")
+        for lender, rec in enumerate(self.lender_jobs):
+            if sum(rec.values()) != self.lent_mb[lender]:
+                raise AllocationError(f"lender_jobs out of sync on node {lender}")

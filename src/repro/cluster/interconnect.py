@@ -1,0 +1,119 @@
+"""Torus interconnect model.
+
+The paper sizes its interconnect as a torus "as recommended by prior
+work" (Solnushkin [35, 36]); the cost of network links is folded into the
+per-node cost figure in Table 4.  We model a 3-D torus with near-cubic
+dimensions.  The simulator uses it for (a) documentation of the modelled
+machine, (b) hop-distance statistics feeding the optional distance term of
+the remote-memory model, and (c) link counting for cost sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def torus_dimensions(n_nodes: int) -> Tuple[int, int, int]:
+    """Choose near-cubic 3-D torus dimensions with X*Y*Z >= n_nodes.
+
+    Follows the SADDLE-style heuristic of taking the most cubic factor
+    triple; when ``n_nodes`` has no good factorisation the smallest
+    enclosing box is used (real deployments round the machine size up to
+    the torus size).
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    best: Tuple[int, int, int] | None = None
+    best_score = None
+    # Search boxes with volume in [n, 2n); the tightest near-cubic wins.
+    limit = int(round(n_nodes ** (1 / 3))) + 2
+    for x in range(1, 2 * limit + 1):
+        for y in range(x, 2 * limit + 1):
+            z = -(-n_nodes // (x * y))  # ceil division
+            if z < y:
+                continue
+            volume = x * y * z
+            if volume >= 2 * n_nodes and best is not None:
+                continue
+            score = (volume - n_nodes, z - x)  # waste, then elongation
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (x, y, z)
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class Torus:
+    """A 3-D torus with wraparound links."""
+
+    dims: Tuple[int, int, int]
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "Torus":
+        return cls(torus_dimensions(n_nodes))
+
+    @property
+    def n_slots(self) -> int:
+        x, y, z = self.dims
+        return x * y * z
+
+    @property
+    def n_links(self) -> int:
+        """Bidirectional links: 3 per slot for a full 3-D torus.
+
+        Dimensions of size 1 contribute no links and size 2 contributes a
+        single (not double) link per pair.
+        """
+        x, y, z = self.dims
+        links = 0
+        for dim, other in ((x, y * z), (y, x * z), (z, x * y)):
+            if dim == 1:
+                continue
+            per_ring = dim if dim > 2 else 1
+            links += per_ring * other
+        return links
+
+    def coords(self, node: int) -> Tuple[int, int, int]:
+        x, y, z = self.dims
+        if not (0 <= node < self.n_slots):
+            raise ValueError(f"node {node} outside torus of {self.n_slots}")
+        return (node % x, (node // x) % y, node // (x * y))
+
+    def distance_row(self, node: int, n: Optional[int] = None) -> np.ndarray:
+        """Hop distances from ``node`` to slots ``0..n-1`` (vectorised)."""
+        x, y, z = self.dims
+        n = self.n_slots if n is None else n
+        idx = np.arange(n)
+        coords = np.column_stack(
+            [idx % x, (idx // x) % y, idx // (x * y)]
+        )
+        own = np.array(self.coords(node))
+        dims = np.array(self.dims)
+        delta = np.abs(coords - own)
+        return np.minimum(delta, dims - delta).sum(axis=1)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Minimal hop count between two slots (per-dimension wraparound)."""
+        dist = 0
+        for ca, cb, d in zip(self.coords(a), self.coords(b), self.dims):
+            delta = abs(ca - cb)
+            dist += min(delta, d - delta)
+        return dist
+
+    def mean_hop_distance(self) -> float:
+        """Expected hop distance between two uniformly random slots.
+
+        For a ring of size d the mean distance is ``d/4`` for even d and
+        ``(d^2-1)/(4d)`` for odd d; dimensions are independent.
+        """
+        mean = 0.0
+        for d in self.dims:
+            if d % 2 == 0:
+                mean += d / 4
+            else:
+                mean += (d * d - 1) / (4 * d)
+        return mean

@@ -1,0 +1,168 @@
+"""Lender selection for the disaggregated memory pool.
+
+When a compute node needs more memory than it has locally, the remainder
+is borrowed from *lender* nodes.  The paper's static policy (Zacarias et
+al., §2.1) borrows from the nodes with the most free memory; a
+round-robin alternative is provided as an ablation
+(`DESIGN.md §5`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cluster import Cluster
+
+#: Lender-selection strategies.  ``most-free`` is the paper's policy;
+#: ``nearest`` prefers topologically close lenders (extension, pairs with
+#: the slowdown model's distance term); ``round-robin`` is an ablation.
+MOST_FREE = "most-free"
+ROUND_ROBIN = "round-robin"
+NEAREST = "nearest"
+STRATEGIES = (MOST_FREE, ROUND_ROBIN, NEAREST)
+
+
+class MemoryPool:
+    """Chooses lender nodes for remote-memory borrowing."""
+
+    def __init__(self, cluster: Cluster, strategy: str = MOST_FREE):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown lender strategy {strategy!r}")
+        self.cluster = cluster
+        self.strategy = strategy
+        self._rr_cursor = 0
+
+    def _order(self, free: np.ndarray, near: Optional[int]) -> np.ndarray:
+        """Lender visiting order for one request."""
+        if self.strategy == NEAREST and near is not None:
+            hops = self.cluster.distance_row(near)
+            # Nearest first; most-free breaks distance ties.
+            return np.lexsort((-free, hops))
+        if self.strategy == ROUND_ROBIN:
+            n = self.cluster.n_nodes
+            order = np.roll(np.arange(n), -self._rr_cursor)
+            self._rr_cursor = (self._rr_cursor + 1) % n
+            return order
+        return np.argsort(-free, kind="stable")
+
+    # ------------------------------------------------------------------
+    def available_mb(self, exclude: Iterable[int] = ()) -> int:
+        """Total borrowable memory outside the excluded nodes."""
+        free = self.cluster.free_local()
+        total = int(free.sum())
+        for node in exclude:
+            total -= int(free[node])
+        return total
+
+    def plan_borrow(
+        self,
+        amount_mb: int,
+        exclude: Sequence[int] = (),
+        near: Optional[int] = None,
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Plan lenders for ``amount_mb``, or ``None`` if infeasible.
+
+        Returns ``[(lender node, MB), ...]`` without mutating any state;
+        the caller commits via :meth:`Cluster.apply` / ``add_remote``.
+        Nodes in ``exclude`` (normally the requesting compute node) never
+        lend to the request.  ``near`` anchors the ``nearest`` strategy.
+        """
+        if amount_mb < 0:
+            raise ValueError(f"negative borrow amount {amount_mb}")
+        if amount_mb == 0:
+            return []
+        free = self.cluster.free_local().copy()
+        if len(exclude):
+            free[np.asarray(list(exclude), dtype=np.int64)] = 0
+        if int(free.sum()) < amount_mb:
+            return None
+        order = self._order(free, near)
+        plan: List[Tuple[int, int]] = []
+        remaining = amount_mb
+        for node in order:
+            avail = int(free[node])
+            if avail <= 0:
+                continue
+            take = min(avail, remaining)
+            plan.append((int(node), take))
+            remaining -= take
+            if remaining == 0:
+                return plan
+        return None  # pragma: no cover - guarded by the sum check above
+
+    def split_borrow(
+        self,
+        per_node_mb: Dict[int, int],
+        reduce_free: Optional[Dict[int, int]] = None,
+    ) -> Optional[Dict[int, List[Tuple[int, int]]]]:
+        """Plan borrows for several compute nodes at once.
+
+        ``per_node_mb`` maps compute node -> MB of remote memory needed.
+        A compute node never lends *to itself*, but it may lend its spare
+        DRAM to the job's other nodes (cross-node accesses within a job
+        are remote accesses like any other).  ``reduce_free`` subtracts
+        memory already promised (the nodes' planned local allocations)
+        from the lendable pool.
+
+        Returns compute node -> lender plan, or ``None`` if the combined
+        demand cannot be met.  Plans are carved from one shared pass so
+        the same free MB is never promised twice.
+        """
+        free = self.cluster.free_local().copy()
+        if reduce_free:
+            for node, mb in reduce_free.items():
+                free[node] -= mb
+        if (free < 0).any():
+            return None
+        if self.strategy == NEAREST:
+            return self._split_borrow_nearest(per_node_mb, free)
+        order = self._order(free, None)
+        result: Dict[int, List[Tuple[int, int]]] = {}
+        ptr = 0
+        for node, need in per_node_mb.items():
+            if need < 0:
+                raise ValueError(f"negative borrow amount {need}")
+            plan: List[Tuple[int, int]] = []
+            i = ptr
+            while need > 0:
+                if i >= len(order):
+                    return None
+                lender = int(order[i])
+                if lender == node or free[lender] <= 0:
+                    i += 1
+                    continue
+                take = int(min(free[lender], need))
+                free[lender] -= take
+                need -= take
+                plan.append((lender, take))
+                if free[lender] == 0 and i == ptr:
+                    ptr += 1
+            result[node] = plan
+        return result
+
+    def _split_borrow_nearest(
+        self, per_node_mb: Dict[int, int], free: np.ndarray
+    ) -> Optional[Dict[int, List[Tuple[int, int]]]]:
+        """Per-compute-node nearest-first carving (no shared cursor: each
+        node has its own distance ordering)."""
+        result: Dict[int, List[Tuple[int, int]]] = {}
+        for node, need in per_node_mb.items():
+            if need < 0:
+                raise ValueError(f"negative borrow amount {need}")
+            plan: List[Tuple[int, int]] = []
+            for lender in self._order(free, node):
+                if need == 0:
+                    break
+                lender = int(lender)
+                if lender == node or free[lender] <= 0:
+                    continue
+                take = int(min(free[lender], need))
+                free[lender] -= take
+                need -= take
+                plan.append((lender, take))
+            if need > 0:
+                return None
+            result[node] = plan
+        return result

@@ -1,0 +1,69 @@
+"""Light-weight node view over the cluster's columnar ledgers.
+
+The authoritative state lives in numpy arrays on
+:class:`~repro.cluster.cluster.Cluster` (for vectorised node selection);
+:class:`Node` is a convenience view used by tests, examples and debug
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class Node:
+    """Read-only view of one node's state."""
+
+    cluster: "Cluster"
+    index: int
+
+    @property
+    def capacity_mb(self) -> int:
+        return int(self.cluster.capacity_mb[self.index])
+
+    @property
+    def local_used_mb(self) -> int:
+        return int(self.cluster.local_used_mb[self.index])
+
+    @property
+    def lent_mb(self) -> int:
+        return int(self.cluster.lent_mb[self.index])
+
+    @property
+    def free_local_mb(self) -> int:
+        """Physically free DRAM on this node (not used locally, not lent)."""
+        return self.capacity_mb - self.local_used_mb - self.lent_mb
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.cluster.busy[self.index])
+
+    @property
+    def running_job(self) -> Optional[int]:
+        jid = int(self.cluster.job_on_node[self.index])
+        return None if jid < 0 else jid
+
+    @property
+    def is_memory_node(self) -> bool:
+        """True when the node has lent more than half its capacity.
+
+        Per the static policy of Zacarias et al. (paper §2.1), such a node
+        "can lend memory but not run new jobs" until lending drops again.
+        """
+        return self.lent_mb * 2 > self.capacity_mb
+
+    @property
+    def is_large(self) -> bool:
+        return bool(self.cluster.is_large[self.index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node({self.index}, cap={self.capacity_mb}MB, "
+            f"local={self.local_used_mb}, lent={self.lent_mb}, "
+            f"busy={self.busy}, memnode={self.is_memory_node})"
+        )

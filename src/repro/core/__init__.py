@@ -1,0 +1,31 @@
+"""Core simulation primitives: units, RNG, events, engine, configuration."""
+
+from .config import LARGE_NODE_FRACTIONS, MEMORY_LEVELS, SystemConfig
+from .engine import Engine
+from .errors import (
+    AllocationError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .events import Event, EventKind, EventQueue
+from .rng import ensure_rng, spawn, stable_seed
+
+__all__ = [
+    "AllocationError",
+    "ConfigError",
+    "Engine",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LARGE_NODE_FRACTIONS",
+    "MEMORY_LEVELS",
+    "ReproError",
+    "SimulationError",
+    "SystemConfig",
+    "TraceError",
+    "ensure_rng",
+    "spawn",
+    "stable_seed",
+]

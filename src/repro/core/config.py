@@ -1,0 +1,176 @@
+"""System configuration (paper Table 4).
+
+A :class:`SystemConfig` describes one simulated machine: node count, node
+memory classes (*normal* and *large* nodes, large = double capacity),
+scheduler cadence, and the dynamic-policy update interval.
+
+The paper's x-axis "total system memory (%)" normalises the provisioned
+memory by an all-large-node (128 GB/node) system.  The eight levels it
+sweeps — 37, 43, 50, 57, 62, 75, 87, 100 — correspond to the following
+(normal-node capacity, fraction of large nodes) pairs, with large nodes
+always 128 GB:
+
+====== ================= ==================
+level  normal node (GB)  fraction large
+====== ================= ==================
+ 37        32                 0.15
+ 43        32                 0.25
+ 50        64                 0.00
+ 57        64                 0.15
+ 62        64                 0.25
+ 75        64                 0.50
+ 87        64                 0.75
+100       128                 1.00
+====== ================= ==================
+
+(e.g. 0.25·128 + 0.75·32 = 56 GB mean ⇒ 56/128 = 43.75% ≈ "43").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from .errors import ConfigError
+from .units import gb_to_mb
+
+#: Reference large-node capacity (GB) used for normalisation.
+LARGE_NODE_GB = 128
+
+#: Paper Table 4 memory levels -> (normal node GB, fraction of large nodes).
+#: Level 25 (all 32 GB nodes) appears only in Fig. 7's "Sys 25%" panels.
+MEMORY_LEVELS: Dict[int, Tuple[int, float]] = {
+    25: (32, 0.00),
+    37: (32, 0.15),
+    43: (32, 0.25),
+    50: (64, 0.00),
+    57: (64, 0.15),
+    62: (64, 0.25),
+    75: (64, 0.50),
+    87: (64, 0.75),
+    100: (128, 1.00),
+}
+
+#: Fractions of large nodes swept in Table 4 (with 64 GB normal nodes).
+LARGE_NODE_FRACTIONS = (0.0, 0.15, 0.25, 0.50, 0.75, 1.00)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One simulated system (paper Table 4 row)."""
+
+    n_nodes: int = 1024
+    cores_per_node: int = 32
+    normal_mem_gb: int = 64
+    large_mem_gb: int = 128
+    frac_large_nodes: float = 0.0
+    sched_interval: float = 30.0
+    backfill_interval: float = 30.0
+    queue_depth: int = 100
+    backfill_depth: int = 100
+    update_interval: float = 300.0  # dynamic policy: ~5 minutes (paper 2.2)
+    #: "backfill" (Table 4) or "fcfs" (ablation: no out-of-order starts).
+    scheduling: str = "backfill"
+    #: Kill jobs at their wall-time limit (real Slurm behaviour; off by
+    #: default because the paper's simulator runs jobs to completion and
+    #: uses limits only for backfill reservations).
+    enforce_walltime: bool = False
+    node_bw_gbps: float = 100.0  # injection bandwidth available for lending
+    cost_per_node_usd: float = 10_154.0  # excl. memory (Table 4, [27])
+    cost_per_128gb_usd: float = 1_280.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be positive, got {self.n_nodes}")
+        if not (0.0 <= self.frac_large_nodes <= 1.0):
+            raise ConfigError(
+                f"frac_large_nodes must be in [0,1], got {self.frac_large_nodes}"
+            )
+        if self.normal_mem_gb <= 0 or self.large_mem_gb < self.normal_mem_gb:
+            raise ConfigError(
+                f"invalid node memory sizes {self.normal_mem_gb}/{self.large_mem_gb}"
+            )
+        if self.sched_interval <= 0 or self.update_interval <= 0:
+            raise ConfigError("intervals must be positive")
+        if self.scheduling not in ("backfill", "fcfs"):
+            raise ConfigError(
+                f"scheduling must be 'backfill' or 'fcfs', got {self.scheduling!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Node composition
+    # ------------------------------------------------------------------
+    @property
+    def n_large_nodes(self) -> int:
+        return int(round(self.n_nodes * self.frac_large_nodes))
+
+    @property
+    def n_normal_nodes(self) -> int:
+        return self.n_nodes - self.n_large_nodes
+
+    @property
+    def normal_mem_mb(self) -> int:
+        return gb_to_mb(self.normal_mem_gb)
+
+    @property
+    def large_mem_mb(self) -> int:
+        return gb_to_mb(self.large_mem_gb)
+
+    def total_memory_mb(self) -> int:
+        return (
+            self.n_normal_nodes * self.normal_mem_mb
+            + self.n_large_nodes * self.large_mem_mb
+        )
+
+    def memory_fraction(self) -> float:
+        """Provisioned memory as a fraction of an all-128GB-node system."""
+        full = self.n_nodes * gb_to_mb(LARGE_NODE_GB)
+        return self.total_memory_mb() / full
+
+    def memory_percent(self) -> int:
+        """Provisioned memory as the paper's integer axis label.
+
+        The paper labels 36.25% as "37"; we snap to the nearest known
+        label when within one point, otherwise round to nearest.
+        """
+        pct = self.memory_fraction() * 100
+        nearest = min(MEMORY_LEVELS, key=lambda lvl: abs(lvl - pct))
+        if abs(nearest - pct) <= 1.0:
+            return nearest
+        return int(round(pct))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_memory_level(cls, level: int, n_nodes: int = 1024, **kw) -> "SystemConfig":
+        """Build the Table 4 configuration for a paper memory level.
+
+        ``level`` must be one of the keys of :data:`MEMORY_LEVELS`.
+        """
+        if level not in MEMORY_LEVELS:
+            raise ConfigError(
+                f"unknown memory level {level}; choose from {sorted(MEMORY_LEVELS)}"
+            )
+        normal_gb, frac_large = MEMORY_LEVELS[level]
+        return cls(
+            n_nodes=n_nodes,
+            normal_mem_gb=normal_gb,
+            large_mem_gb=LARGE_NODE_GB,
+            frac_large_nodes=frac_large,
+            **kw,
+        )
+
+    def with_(self, **kw) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------
+    # Cost model (Table 4 + [27])
+    # ------------------------------------------------------------------
+    def cluster_cost_usd(self) -> float:
+        """Total capital cost: per-node base cost plus provisioned memory."""
+        mem_cost = (
+            self.total_memory_mb() / gb_to_mb(128)
+        ) * self.cost_per_128gb_usd
+        return self.n_nodes * self.cost_per_node_usd + mem_cost

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid system or scenario configuration was supplied."""
+
+
+class AllocationError(ReproError):
+    """A memory/node allocation request violated an invariant."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or cannot be generated."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

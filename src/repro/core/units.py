@@ -1,0 +1,51 @@
+"""Units and conversion helpers.
+
+All memory quantities inside the simulator are integer **mebibytes (MB)**
+to keep the lend/borrow ledgers exact, and all times are **seconds** as
+floats.  These helpers centralise the conversions so magic numbers never
+appear at call sites.
+"""
+
+from __future__ import annotations
+
+#: Mebibytes per gibibyte.
+MB_PER_GB: int = 1024
+
+#: Seconds per minute / hour / day / week.
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+WEEK: float = 7 * DAY
+
+#: Memory-class threshold (paper Table 3): a job is "large-memory" when
+#: its per-node demand exceeds a normal 64 GB node.
+LARGE_MEMORY_THRESHOLD_MB: int = 64 * MB_PER_GB
+
+
+def gb_to_mb(gb: float) -> int:
+    """Convert gibibytes to integer mebibytes (rounded to nearest MB).
+
+    >>> gb_to_mb(64)
+    65536
+    >>> gb_to_mb(0.5)
+    512
+    """
+    return int(round(gb * MB_PER_GB))
+
+
+def mb_to_gb(mb: float) -> float:
+    """Convert mebibytes to gibibytes.
+
+    >>> mb_to_gb(131072)
+    128.0
+    """
+    return mb / MB_PER_GB
+
+
+def node_hours(n_nodes: int, seconds: float) -> float:
+    """Node-hours consumed by ``n_nodes`` nodes over ``seconds`` seconds.
+
+    >>> node_hours(4, 3600)
+    4.0
+    """
+    return n_nodes * seconds / HOUR

@@ -1,0 +1,144 @@
+"""Resumable simulation campaigns.
+
+A full-scale reproduction of the Fig. 5/8 grids is hundreds of
+multi-second simulations (~75 minutes at the paper's 1024 nodes); this
+driver persists each completed scenario to a JSONL file as it finishes
+and skips already-recorded scenarios on restart, so an interrupted
+campaign resumes instead of recomputing.
+
+```python
+from repro.experiments.campaign import fig5_scenarios, run_campaign
+records = run_campaign(fig5_scenarios(SCALES["full"]), "fig5_full.jsonl")
+```
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from .runner import normalized, run
+from .scenarios import (
+    FIG5_JOB_MIXES,
+    FIG5_MEMORY_LEVELS,
+    FIG8_OVERESTIMATIONS,
+    SCALES,
+    Scale,
+    Scenario,
+)
+
+PathLike = Union[str, Path]
+
+
+def scenario_key(scenario: Scenario) -> str:
+    """Stable identity of a scenario within a campaign file."""
+    d = asdict(scenario)
+    return json.dumps(d, sort_keys=True)
+
+
+def _load_done(path: Path) -> Dict[str, Dict]:
+    done: Dict[str, Dict] = {}
+    if not path.exists():
+        return done
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            done[rec["key"]] = rec
+    return done
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    path: PathLike,
+    progress: Optional[Callable[[int, int, Scenario], None]] = None,
+) -> List[Dict]:
+    """Run ``scenarios``, appending one JSONL record each; resume-safe.
+
+    Returns the records for all requested scenarios (freshly run or
+    previously recorded), in request order.
+    """
+    path = Path(path)
+    done = _load_done(path)
+    out: List[Dict] = []
+    with open(path, "a") as fh:
+        for i, scenario in enumerate(scenarios):
+            key = scenario_key(scenario)
+            rec = done.get(key)
+            if rec is None:
+                result = run(scenario)
+                rec = {
+                    "key": key,
+                    "scenario": asdict(scenario),
+                    "normalized_throughput": normalized(scenario),
+                    "summary": result.summary(),
+                }
+                fh.write(json.dumps(rec) + "\n")
+                fh.flush()
+                done[key] = rec
+            if progress is not None:
+                progress(i + 1, len(scenarios), scenario)
+            out.append(rec)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ready-made scenario grids
+# ----------------------------------------------------------------------
+def fig5_scenarios(
+    scale: Scale = SCALES["full"],
+    mixes: Sequence[float] = FIG5_JOB_MIXES,
+    memory_levels: Sequence[int] = FIG5_MEMORY_LEVELS,
+    overestimations: Sequence[float] = (0.0, 0.6),
+    seed: int = 0,
+) -> List[Scenario]:
+    """The synthetic panels of Fig. 5 as a flat scenario list."""
+    out: List[Scenario] = []
+    for mix in mixes:
+        for ovr in overestimations:
+            for level in memory_levels:
+                for policy in ("baseline", "static", "dynamic"):
+                    out.append(
+                        Scenario(
+                            trace="synthetic",
+                            policy=policy,
+                            memory_level=level,
+                            frac_large=mix,
+                            overestimation=ovr,
+                            n_nodes=scale.n_nodes,
+                            n_jobs=scale.n_jobs,
+                            seed=seed,
+                        )
+                    )
+    return out
+
+
+def fig8_scenarios(
+    scale: Scale = SCALES["full"],
+    overestimations: Sequence[float] = FIG8_OVERESTIMATIONS,
+    memory_levels: Sequence[int] = FIG5_MEMORY_LEVELS,
+    mix: float = 0.5,
+    seed: int = 0,
+) -> List[Scenario]:
+    """The synthetic row of Fig. 8 as a flat scenario list."""
+    out: List[Scenario] = []
+    for ovr in overestimations:
+        for level in memory_levels:
+            for policy in ("baseline", "static", "dynamic"):
+                out.append(
+                    Scenario(
+                        trace="synthetic",
+                        policy=policy,
+                        memory_level=level,
+                        frac_large=mix,
+                        overestimation=ovr,
+                        n_nodes=scale.n_nodes,
+                        n_jobs=scale.n_jobs,
+                        seed=seed,
+                    )
+                )
+    return out

@@ -1,0 +1,92 @@
+"""CSV export of figure data.
+
+The paper's plots are drawn with R/ggplot; these helpers flatten the
+figure producers' nested dictionaries into tidy CSV (one observation per
+row) so any plotting stack can regenerate the graphics from this
+repository's data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+def _write(rows, headers) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def figure5_csv(data: Dict) -> str:
+    """Tidy CSV for Fig. 5/8 producer output.
+
+    Columns: panel, overestimation, memory_level, policy, value
+    (empty value = missing bar).
+    """
+    rows = []
+    for panel, by_ovr in data.items():
+        for ovr, by_level in by_ovr.items():
+            for level, bars in by_level.items():
+                for policy, value in bars.items():
+                    rows.append([
+                        panel, ovr, level, policy,
+                        "" if value is None else value,
+                    ])
+    return _write(rows, ["panel", "overestimation", "memory_level",
+                         "policy", "normalized_throughput"])
+
+
+def figure6_csv(
+    data: Dict[str, Dict[float, Dict[str, Tuple[np.ndarray, np.ndarray]]]],
+) -> str:
+    """Tidy CSV of the ECDF curves: regime, overestimation, policy, x, y."""
+    rows = []
+    for regime, by_ovr in data.items():
+        for ovr, curves in by_ovr.items():
+            for policy, (x, y) in curves.items():
+                for xi, yi in zip(x, y):
+                    rows.append([regime, ovr, policy, float(xi), float(yi)])
+    return _write(rows, ["regime", "overestimation", "policy",
+                         "response_time_s", "ecdf"])
+
+
+def figure7_csv(data: Dict) -> str:
+    rows = []
+    for system, by_ovr in data.items():
+        for ovr, by_mix in by_ovr.items():
+            for mix, bars in by_mix.items():
+                for policy, value in bars.items():
+                    rows.append([
+                        system, ovr, mix, policy,
+                        "" if value is None else value,
+                    ])
+    return _write(rows, ["system", "overestimation", "frac_large",
+                         "policy", "throughput_per_dollar"])
+
+
+def figure9_csv(data: Dict[str, Dict[float, Optional[int]]]) -> str:
+    rows = []
+    for policy, by_ovr in data.items():
+        for ovr, level in by_ovr.items():
+            rows.append([policy, ovr, "" if level is None else level])
+    return _write(rows, ["policy", "overestimation", "min_memory_level"])
+
+
+def heatmap_csv(grid: np.ndarray, which: str = "max") -> str:
+    """Fig. 4 heatmap as tidy CSV: metric, memory_bin, size_bin, percent."""
+    from ..traces.archer import MEMORY_BINS_GB
+    from ..traces.workload import SIZE_BIN_LABELS
+
+    rows = []
+    for i, (lo, hi) in enumerate(MEMORY_BINS_GB):
+        for j, size_label in enumerate(SIZE_BIN_LABELS):
+            rows.append([which, f"[{int(lo)},{int(hi)})", size_label,
+                         float(grid[i, j])])
+    return _write(rows, ["metric", "memory_bin_gb", "size_bin_nodes",
+                         "percent_of_jobs"])

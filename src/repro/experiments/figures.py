@@ -1,0 +1,311 @@
+"""Per-figure data producers (paper Figs. 2 and 4–9).
+
+Each ``figureN_*`` function regenerates the data behind one figure of the
+paper's evaluation and returns it as plain dictionaries/arrays, ready for
+:mod:`repro.experiments.report` to render as text (or for any plotting
+front-end).  All functions accept a :class:`~repro.experiments.scenarios.Scale`
+so the same code drives quick benches and full-fidelity reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.response import ecdf, median_reduction
+from ..metrics.cost import throughput_per_dollar
+from ..traces.grizzly import generate_dataset
+from ..traces.pipeline import synthetic_workload
+from .runner import normalized, normalized_mean, run
+from .scenarios import (
+    FIG5_JOB_MIXES,
+    FIG5_MEMORY_LEVELS,
+    FIG7_SYSTEMS,
+    FIG8_OVERESTIMATIONS,
+    SCALES,
+    Scale,
+    Scenario,
+)
+
+PolicyBars = Dict[str, Optional[float]]
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — Grizzly week sampling
+# ----------------------------------------------------------------------
+def figure2_week_sampling(
+    n_weeks: int = 26,
+    n_nodes: int = 1490,
+    k_selected: int = 7,
+    utilization_threshold: float = 0.70,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Scatter data of Fig. 2: per-week CPU utilisation vs normalised max
+    job node-hours and max job memory, plus the sampled (simulated) weeks.
+    """
+    dataset = generate_dataset(n_weeks=n_weeks, n_nodes=n_nodes, seed=seed)
+    stats = dataset.week_statistics()  # (util, max_nh, max_mem)
+    selected = dataset.sample_weeks(
+        k=k_selected, utilization_threshold=utilization_threshold, seed=seed + 1
+    )
+    selected_idx = np.array([w.index for w in selected])
+    norm = stats.copy()
+    for col in (1, 2):
+        peak = stats[:, col].max()
+        if peak > 0:
+            norm[:, col] = stats[:, col] / peak
+    return {
+        "utilization": stats[:, 0],
+        "max_node_hours_norm": norm[:, 1],
+        "max_memory_norm": norm[:, 2],
+        "selected": selected_idx,
+        "threshold": np.array([utilization_threshold]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — memory/size heatmaps of the synthetic trace
+# ----------------------------------------------------------------------
+def figure4_memory_heatmap(
+    n_jobs: int = 3000,
+    frac_large: float = 0.5,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Fig. 4a (average) and 4b (maximum) usage heatmaps, % of jobs."""
+    wl = synthetic_workload(
+        n_jobs=n_jobs, frac_large=frac_large, overestimation=0.0, seed=seed
+    )
+    return {
+        "avg": wl.memory_heatmap("avg"),
+        "max": wl.memory_heatmap("max"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — throughput vs provisioned memory
+# ----------------------------------------------------------------------
+def figure5_throughput(
+    scale: Scale = SCALES["small"],
+    mixes: Sequence[float] = FIG5_JOB_MIXES,
+    memory_levels: Sequence[int] = FIG5_MEMORY_LEVELS,
+    overestimations: Sequence[float] = (0.0, 0.6),
+    include_grizzly: bool = True,
+    grizzly_repeats: int = 1,
+    seed: int = 0,
+) -> Dict[str, Dict[float, Dict[int, PolicyBars]]]:
+    """Normalised throughput per (panel, overestimation, level, policy).
+
+    Keys: panel name ("large=50%" or "grizzly") -> overestimation ->
+    memory level -> policy -> normalised throughput or ``None``.
+    ``grizzly_repeats`` averages several generated weeks for the Grizzly
+    panel (the paper simulates seven sampled weeks).
+    """
+    panels: Dict[str, Dict[float, Dict[int, PolicyBars]]] = {}
+
+    def sweep(base: Scenario, repeats: int = 1) -> Dict[float, Dict[int, PolicyBars]]:
+        out: Dict[float, Dict[int, PolicyBars]] = {}
+        for ovr in overestimations:
+            out[ovr] = {}
+            for level in memory_levels:
+                bars: PolicyBars = {}
+                for policy in ("baseline", "static", "dynamic"):
+                    sc = base.with_(
+                        policy=policy, memory_level=level, overestimation=ovr
+                    )
+                    bars[policy] = normalized_mean(sc, repeats=repeats)
+                out[ovr][level] = bars
+        return out
+
+    for mix in mixes:
+        base = Scenario(
+            trace="synthetic",
+            frac_large=mix,
+            n_nodes=scale.n_nodes,
+            n_jobs=scale.n_jobs,
+            seed=seed,
+        )
+        panels[f"large={int(round(mix * 100))}%"] = sweep(base)
+    if include_grizzly:
+        base = Scenario(
+            trace="grizzly",
+            n_nodes=scale.grizzly_nodes,
+            n_jobs=scale.grizzly_jobs,
+            seed=seed,
+        )
+        panels["grizzly"] = sweep(base, repeats=grizzly_repeats)
+    return panels
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — response-time ECDFs
+# ----------------------------------------------------------------------
+#: Provisioning regimes: (fraction of large-memory jobs, memory level).
+FIG6_REGIMES: Dict[str, Tuple[float, int]] = {
+    "overprovisioned": (0.25, 87),
+    "match": (0.50, 75),
+    "underprovisioned": (0.75, 50),
+}
+
+
+def figure6_response_ecdf(
+    scale: Scale = SCALES["small"],
+    overestimations: Sequence[float] = (0.0, 0.6),
+    regimes: Dict[str, Tuple[float, int]] = FIG6_REGIMES,
+    seed: int = 0,
+) -> Dict[str, Dict[float, Dict[str, Tuple[np.ndarray, np.ndarray]]]]:
+    """ECDF curves per (regime, overestimation, policy).
+
+    The regime names follow the paper: a job mix demanding fewer / as
+    many / more large-memory nodes than the system provides.
+    """
+    out: Dict[str, Dict[float, Dict[str, Tuple[np.ndarray, np.ndarray]]]] = {}
+    for regime, (mix, level) in regimes.items():
+        out[regime] = {}
+        for ovr in overestimations:
+            curves: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+            for policy in ("static", "dynamic"):
+                sc = Scenario(
+                    trace="synthetic",
+                    policy=policy,
+                    memory_level=level,
+                    frac_large=mix,
+                    overestimation=ovr,
+                    n_nodes=scale.n_nodes,
+                    n_jobs=scale.n_jobs,
+                    seed=seed,
+                )
+                res = run(sc)
+                curves[policy] = ecdf(res.response_times())
+            out[regime][ovr] = curves
+    return out
+
+
+def figure6_median_reductions(
+    data: Dict[str, Dict[float, Dict[str, Tuple[np.ndarray, np.ndarray]]]],
+) -> Dict[str, Dict[float, float]]:
+    """Median response-time reduction (dynamic vs static) per regime."""
+    out: Dict[str, Dict[float, float]] = {}
+    for regime, by_ovr in data.items():
+        out[regime] = {}
+        for ovr, curves in by_ovr.items():
+            out[regime][ovr] = median_reduction(
+                curves["static"][0], curves["dynamic"][0]
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — cost–benefit
+# ----------------------------------------------------------------------
+def figure7_cost_benefit(
+    scale: Scale = SCALES["small"],
+    systems: Dict[str, int] = FIG7_SYSTEMS,
+    mixes: Sequence[float] = (0.0, 0.25, 0.50, 0.75, 1.00),
+    overestimations: Sequence[float] = (0.0, 0.6),
+    seed: int = 0,
+) -> Dict[str, Dict[float, Dict[float, PolicyBars]]]:
+    """Throughput per dollar: system panel -> overest -> mix -> policy."""
+    out: Dict[str, Dict[float, Dict[float, PolicyBars]]] = {}
+    for sys_name, level in systems.items():
+        out[sys_name] = {}
+        for ovr in overestimations:
+            out[sys_name][ovr] = {}
+            for mix in mixes:
+                bars: PolicyBars = {}
+                for policy in ("static", "dynamic"):
+                    sc = Scenario(
+                        trace="synthetic",
+                        policy=policy,
+                        memory_level=level,
+                        frac_large=mix,
+                        overestimation=ovr,
+                        n_nodes=scale.n_nodes,
+                        n_jobs=scale.n_jobs,
+                        seed=seed,
+                    )
+                    res = run(sc)
+                    if not res.all_jobs_ran():
+                        bars[policy] = None
+                    else:
+                        bars[policy] = throughput_per_dollar(
+                            res, sc.system_config()
+                        )
+                out[sys_name][ovr][mix] = bars
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — throughput vs overestimation
+# ----------------------------------------------------------------------
+def figure8_overestimation(
+    scale: Scale = SCALES["small"],
+    overestimations: Sequence[float] = FIG8_OVERESTIMATIONS,
+    memory_levels: Sequence[int] = FIG5_MEMORY_LEVELS,
+    mix: float = 0.5,
+    include_grizzly: bool = True,
+    seed: int = 0,
+) -> Dict[str, Dict[float, Dict[int, PolicyBars]]]:
+    """Normalised throughput: row -> overestimation -> level -> policy."""
+    rows = {"large=50%": ("synthetic", mix)}
+    if include_grizzly:
+        rows["grizzly"] = ("grizzly", mix)
+    out: Dict[str, Dict[float, Dict[int, PolicyBars]]] = {}
+    for row_name, (trace, row_mix) in rows.items():
+        n_nodes = scale.grizzly_nodes if trace == "grizzly" else scale.n_nodes
+        n_jobs = scale.grizzly_jobs if trace == "grizzly" else scale.n_jobs
+        out[row_name] = {}
+        for ovr in overestimations:
+            out[row_name][ovr] = {}
+            for level in memory_levels:
+                bars: PolicyBars = {}
+                for policy in ("baseline", "static", "dynamic"):
+                    sc = Scenario(
+                        trace=trace,
+                        policy=policy,
+                        memory_level=level,
+                        frac_large=row_mix,
+                        overestimation=ovr,
+                        n_nodes=n_nodes,
+                        n_jobs=n_jobs,
+                        seed=seed,
+                    )
+                    bars[policy] = normalized(sc)
+                out[row_name][ovr][level] = bars
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — minimum memory for 95% of full throughput
+# ----------------------------------------------------------------------
+def figure9_min_memory(
+    scale: Scale = SCALES["small"],
+    overestimations: Sequence[float] = FIG8_OVERESTIMATIONS,
+    memory_levels: Sequence[int] = FIG5_MEMORY_LEVELS,
+    mix: float = 0.5,
+    threshold: float = 0.95,
+    seed: int = 0,
+) -> Dict[str, Dict[float, Optional[int]]]:
+    """Smallest memory level reaching ``threshold`` of the reference
+    throughput, per policy and overestimation (synthetic, 50% large)."""
+    out: Dict[str, Dict[float, Optional[int]]] = {"static": {}, "dynamic": {}}
+    for policy in ("static", "dynamic"):
+        for ovr in overestimations:
+            found: Optional[int] = None
+            for level in sorted(memory_levels):
+                sc = Scenario(
+                    trace="synthetic",
+                    policy=policy,
+                    memory_level=level,
+                    frac_large=mix,
+                    overestimation=ovr,
+                    n_nodes=scale.n_nodes,
+                    n_jobs=scale.n_jobs,
+                    seed=seed,
+                )
+                value = normalized(sc)
+                if value is not None and value >= threshold:
+                    found = level
+                    break
+            out[policy][ovr] = found
+    return out

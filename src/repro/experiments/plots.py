@@ -1,0 +1,167 @@
+"""ASCII plots for terminal-only environments.
+
+The paper's figures are bar charts, ECDFs and scatter plots; these
+helpers render the same data as text so `python -m repro figure N
+--plot` (and the examples) can show *shapes*, not just tables, without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Glyphs assigned to successive series in multi-series plots.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_bars(
+    labels: Sequence,
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 50,
+    vmax: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``labels`` name the groups (e.g. memory levels); ``series`` maps a
+    series name (e.g. policy) to one value per group, ``None`` rendering
+    as a missing bar (the paper's "not enough large memory nodes").
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    values = [v for vs in series.values() for v in vs if v is not None]
+    if vmax is None:
+        vmax = max(values) if values else 1.0
+    if vmax <= 0:
+        vmax = 1.0
+    name_w = max(len(str(n)) for n in series)
+    label_w = max((len(str(l)) for l in labels), default=1)
+    lines = [title] if title else []
+    for gi, label in enumerate(labels):
+        for si, (name, vs) in enumerate(series.items()):
+            value = vs[gi]
+            prefix = (
+                f"{str(label).rjust(label_w)} " if si == 0
+                else " " * (label_w + 1)
+            )
+            if value is None:
+                bar, shown = "(missing)", ""
+            else:
+                n = int(round(min(value / vmax, 1.0) * width))
+                bar = SERIES_GLYPHS[si % len(SERIES_GLYPHS)] * n
+                shown = f" {value:.3g}"
+            lines.append(f"{prefix}{str(name).ljust(name_w)} |{bar}{shown}")
+        lines.append("")
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_ecdf(
+    curves: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    title: str = "",
+) -> str:
+    """Overlayed ECDF step plots (Fig. 6 style; log x-axis by default)."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in curves.values()])
+    xs = xs[xs > 0] if log_x else xs
+    if len(xs) == 0:
+        raise ValueError("curves contain no plottable points")
+    xlo, xhi = float(xs.min()), float(xs.max())
+    if log_x:
+        xlo, xhi = np.log10(xlo), np.log10(max(xhi, xlo * 1.0001))
+    if xhi <= xlo:
+        xhi = xlo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        v = np.log10(x) if log_x else x
+        frac = (v - xlo) / (xhi - xlo)
+        return min(max(int(frac * (width - 1)), 0), width - 1)
+
+    for si, (name, (x, y)) in enumerate(curves.items()):
+        glyph = SERIES_GLYPHS[si % len(SERIES_GLYPHS)]
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        for col in range(width):
+            # probability reached by the rightmost point at/before col
+            mask = np.array([col_of(v) <= col for v in x])
+            if not mask.any():
+                continue
+            p = float(y[mask].max())
+            row = height - 1 - min(int(p * (height - 1)), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+    lines = [title] if title else []
+    for ri, row in enumerate(grid):
+        p = 1.0 - ri / (height - 1)
+        lines.append(f"{p:4.2f} |" + "".join(row))
+    lo_label = f"{10**xlo:.3g}" if log_x else f"{xlo:.3g}"
+    hi_label = f"{10**xhi:.3g}" if log_x else f"{xhi:.3g}"
+    axis = " " * 6 + lo_label + " " * max(width - len(lo_label) - len(hi_label), 1) + hi_label
+    lines.append(" " * 5 + "+" + "-" * width)
+    lines.append(axis + ("  (log x)" if log_x else ""))
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(curves)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    highlight: Optional[Sequence[bool]] = None,
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Scatter plot with an optional highlighted subset (Fig. 2 style:
+    grey dots = all weeks, triangles = simulated weeks)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) == 0:
+        raise ValueError("x and y must be equal-length and non-empty")
+    hl = (
+        np.zeros(len(x), dtype=bool)
+        if highlight is None
+        else np.asarray(highlight, dtype=bool)
+    )
+    xlo, xhi = float(x.min()), float(x.max())
+    ylo, yhi = float(y.min()), float(y.max())
+    if xhi <= xlo:
+        xhi = xlo + 1.0
+    if yhi <= ylo:
+        yhi = ylo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi, h in zip(x, y, hl):
+        col = min(int((xi - xlo) / (xhi - xlo) * (width - 1)), width - 1)
+        row = height - 1 - min(int((yi - ylo) / (yhi - ylo) * (height - 1)),
+                               height - 1)
+        # highlights overwrite plain dots
+        if h or grid[row][col] == " ":
+            grid[row][col] = "A" if h else "."
+    lines = [title] if title else []
+    if ylabel:
+        lines.append(ylabel)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    footer = f"{xlo:.3g}".ljust(width // 2) + f"{xhi:.3g}".rjust(width // 2)
+    lines.append(" " + footer)
+    if xlabel:
+        lines.append(" " + xlabel.center(width))
+    lines.append("A = selected, . = other")
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format the producer outputs from
+:mod:`repro.experiments.figures` / :mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..traces.archer import MEMORY_BINS_GB
+from ..traces.workload import SIZE_BIN_LABELS
+
+
+def _fmt(value, width: int = 8) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan".rjust(width)
+        if 0 < abs(value) < 1e-2 or abs(value) >= 1e5:
+            return f"{value:.2e}".rjust(width)
+        return f"{value:.3f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Simple fixed-width table."""
+    widths = [max(len(str(h)), 8) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell, widths[i]).strip()))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def render_figure5(data: Dict, overestimations=(0.0, 0.6)) -> str:
+    """Fig. 5/8-style grids: one block per panel and overestimation."""
+    blocks: List[str] = []
+    for panel, by_ovr in data.items():
+        for ovr in by_ovr:
+            levels = sorted(by_ovr[ovr])
+            rows = []
+            for level in levels:
+                bars = by_ovr[ovr][level]
+                rows.append(
+                    [level]
+                    + [bars.get(p) for p in ("baseline", "static", "dynamic")]
+                )
+            blocks.append(
+                render_table(
+                    ["mem%", "baseline", "static", "dynamic"],
+                    rows,
+                    title=f"[{panel} | overestimation +{int(ovr*100)}%] "
+                    "normalised throughput",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def render_figure6(reductions: Dict[str, Dict[float, float]]) -> str:
+    rows = []
+    for regime, by_ovr in reductions.items():
+        for ovr, red in by_ovr.items():
+            rows.append([regime, f"+{int(ovr*100)}%", red])
+    return render_table(
+        ["regime", "overest", "median_resp_reduction"],
+        rows,
+        title="Fig. 6: median response-time reduction (dynamic vs static)",
+    )
+
+
+def render_figure7(data: Dict) -> str:
+    blocks = []
+    for sys_name, by_ovr in data.items():
+        for ovr, by_mix in by_ovr.items():
+            rows = []
+            for mix in sorted(by_mix):
+                bars = by_mix[mix]
+                rows.append(
+                    [f"{int(mix*100)}%", bars.get("static"), bars.get("dynamic")]
+                )
+            blocks.append(
+                render_table(
+                    ["large jobs", "static", "dynamic"],
+                    rows,
+                    title=f"[Sys {sys_name} | overestimation +{int(ovr*100)}%] "
+                    "throughput per dollar (jobs/s/$)",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def render_figure9(data: Dict[str, Dict[float, Optional[int]]]) -> str:
+    overs = sorted({o for by in data.values() for o in by})
+    rows = []
+    for ovr in overs:
+        rows.append(
+            [f"+{int(ovr*100)}%", data["static"].get(ovr), data["dynamic"].get(ovr)]
+        )
+    return render_table(
+        ["overest", "static min mem%", "dynamic min mem%"],
+        rows,
+        title="Fig. 9: minimum provisioned memory for >=95% reference throughput",
+    )
+
+
+def render_heatmap(grid: np.ndarray, title: str) -> str:
+    """Fig. 4-style heatmap (% of jobs), memory bins x size bins."""
+    headers = ["GB/node"] + list(SIZE_BIN_LABELS)
+    rows = []
+    for i in range(len(MEMORY_BINS_GB) - 1, -1, -1):
+        lo, hi = MEMORY_BINS_GB[i]
+        label = f"[{int(lo)},{int(hi)})"
+        rows.append([label] + [float(grid[i, j]) for j in range(grid.shape[1])])
+    return render_table(headers, rows, title=title)
+
+
+def render_table2(data: Dict[str, Dict[str, np.ndarray]]) -> str:
+    headers = ["Max mem (GB)", "Syn all", "Syn small", "Syn large",
+               "Gri all", "Gri small", "Gri large"]
+    rows = []
+    for i, (lo, hi) in enumerate(MEMORY_BINS_GB):
+        rows.append(
+            [
+                f"[{int(lo)},{int(hi)})",
+                float(data["synthetic"]["all"][i]),
+                float(data["synthetic"]["small"][i]),
+                float(data["synthetic"]["large"][i]),
+                float(data["grizzly"]["all"][i]),
+                float(data["grizzly"]["small"][i]),
+                float(data["grizzly"]["large"][i]),
+            ]
+        )
+    return render_table(headers, rows, title="Table 2: max memory usage per node (%)")
+
+
+def render_table3(stats: Dict[str, Dict[str, tuple]]) -> str:
+    headers = ["metric", "min", "Q1", "median", "Q3", "max"]
+    rows = []
+    for klass in ("normal", "large"):
+        for metric in ("memory_mb", "node_hours"):
+            vals = stats[klass][metric]
+            rows.append([f"{klass} {metric}"] + [float(v) for v in vals])
+    return render_table(
+        headers, rows, title="Table 3: job characteristics by memory class"
+    )

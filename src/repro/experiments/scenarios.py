@@ -1,0 +1,139 @@
+"""Experiment scenario definitions (paper Table 4 grid).
+
+A :class:`Scenario` pins down everything one simulation run needs; the
+runner hashes it for caching and derives a stable RNG seed from it.
+Scenario *scales* trade fidelity for runtime: the paper simulates 1024
+(synthetic) and 1490 (Grizzly) nodes; the ``small`` and ``medium`` scales
+shrink the node and job counts proportionally (keeping the paper's
+1/8 job-size-to-system ratio) so the full figure grids regenerate in
+minutes on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..core.config import MEMORY_LEVELS, SystemConfig
+from ..core.errors import ConfigError
+
+#: Figure 5 / 8 memory sweep (paper x-axis labels).
+FIG5_MEMORY_LEVELS: Tuple[int, ...] = (37, 43, 50, 57, 62, 75, 87, 100)
+
+#: Figure 5 job mixes: fraction of large-memory jobs.
+FIG5_JOB_MIXES: Tuple[float, ...] = (0.0, 0.15, 0.25, 0.50, 0.75, 1.00)
+
+#: Figure 8 overestimation sweep.
+FIG8_OVERESTIMATIONS: Tuple[float, ...] = (0.0, 0.25, 0.50, 0.60, 0.75, 1.00)
+
+#: Figure 7 system provisioning panels -> memory level.
+FIG7_SYSTEMS: Dict[str, int] = {"100%": 100, "75%": 75, "50%": 50, "25%": 25}
+
+POLICY_NAMES: Tuple[str, ...] = ("baseline", "static", "dynamic")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Runtime/fidelity trade-off for an experiment sweep."""
+
+    name: str
+    n_nodes: int
+    n_jobs: int
+    grizzly_nodes: int
+    grizzly_jobs: int
+
+    @property
+    def max_job_nodes(self) -> int:
+        # The paper's synthetic trace caps jobs at 128 of 1024 nodes.
+        return max(self.n_nodes // 8, 1)
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale("small", n_nodes=96, n_jobs=250, grizzly_nodes=128, grizzly_jobs=250),
+    "medium": Scale("medium", n_nodes=256, n_jobs=700, grizzly_nodes=372, grizzly_jobs=700),
+    "full": Scale("full", n_nodes=1024, n_jobs=5000, grizzly_nodes=1490, grizzly_jobs=5000),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified simulation run."""
+
+    trace: str = "synthetic"  # 'synthetic' | 'grizzly'
+    policy: str = "dynamic"
+    memory_level: int = 100
+    frac_large: float = 0.25
+    overestimation: float = 0.0
+    n_nodes: int = 256
+    n_jobs: int = 700
+    max_job_nodes: Optional[int] = None
+    target_utilization: float = 0.80
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trace not in ("synthetic", "grizzly"):
+            raise ConfigError(f"unknown trace kind {self.trace!r}")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigError(f"unknown policy {self.policy!r}")
+        if self.memory_level not in MEMORY_LEVELS:
+            raise ConfigError(
+                f"memory level {self.memory_level} not in {sorted(MEMORY_LEVELS)}"
+            )
+        if not (0.0 <= self.frac_large <= 1.0):
+            raise ConfigError(f"frac_large {self.frac_large} outside [0,1]")
+        if self.overestimation < 0:
+            raise ConfigError(f"negative overestimation {self.overestimation}")
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        return SystemConfig.from_memory_level(self.memory_level, n_nodes=self.n_nodes)
+
+    def effective_max_job_nodes(self) -> int:
+        if self.max_job_nodes is not None:
+            return self.max_job_nodes
+        return max(self.n_nodes // 8, 1)
+
+    def workload_key(self) -> tuple:
+        """Cache key of the *base* workload (overestimation excluded:
+        request rescaling reuses the same generated trace)."""
+        return (
+            self.trace,
+            self.n_nodes,
+            self.n_jobs,
+            round(self.frac_large, 6),
+            self.effective_max_job_nodes(),
+            round(self.target_utilization, 6),
+            self.seed,
+        )
+
+    def generation_seed_key(self) -> tuple:
+        """Key from which the trace-generation RNG seed derives.
+
+        Excludes ``frac_large`` so that sweeping the job mix (Fig. 7's
+        x-axis) varies only the memory-class assignment over identical
+        job geometry — mirroring the paper's sampling of one trace from
+        fixed class distributions (§3.3.1).
+        """
+        return (
+            self.trace,
+            self.n_nodes,
+            self.n_jobs,
+            self.effective_max_job_nodes(),
+            round(self.target_utilization, 6),
+            self.seed,
+        )
+
+    def with_(self, **kw) -> "Scenario":
+        return replace(self, **kw)
+
+
+def scenario_for_scale(scale: Scale, trace: str = "synthetic", **kw) -> Scenario:
+    """Scenario template at a named scale."""
+    if trace == "grizzly":
+        return Scenario(
+            trace="grizzly",
+            n_nodes=scale.grizzly_nodes,
+            n_jobs=scale.grizzly_jobs,
+            **kw,
+        )
+    return Scenario(trace="synthetic", n_nodes=scale.n_nodes, n_jobs=scale.n_jobs, **kw)

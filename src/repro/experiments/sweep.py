@@ -1,0 +1,75 @@
+"""Generic scenario sweeps.
+
+The figure producers hard-code the paper's grids; ``sweep`` exposes the
+same machinery for ad-hoc studies: give a base scenario and lists of
+values for any scenario fields, get one result record per grid point
+(cartesian product), with normalised throughput included.  Used by the
+CLI's ``sweep`` command and available as a public API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence
+
+from .runner import normalized, run
+from .scenarios import Scenario
+
+#: Scenario fields that may be swept.
+SWEEPABLE = tuple(f.name for f in dataclass_fields(Scenario))
+
+
+def sweep(
+    base: Scenario,
+    order: Optional[Sequence[str]] = None,
+    **axes: Sequence,
+) -> List[Dict[str, object]]:
+    """Run the cartesian product of ``axes`` over ``base``.
+
+    Each returned record holds the swept values plus the headline
+    metrics (raw and normalised throughput, median response, memory
+    utilisation, OOM kills, and the missing-bar flag).
+
+    >>> from repro.experiments import Scenario
+    >>> recs = sweep(Scenario(n_nodes=48, n_jobs=60),
+    ...              policy=["static", "dynamic"], memory_level=[50, 100])
+    >>> len(recs)
+    4
+    """
+    for name in axes:
+        if name not in SWEEPABLE:
+            raise ValueError(
+                f"cannot sweep unknown scenario field {name!r}; "
+                f"choose from {SWEEPABLE}"
+            )
+    names = list(order) if order is not None else list(axes)
+    if set(names) != set(axes):
+        raise ValueError("order must name exactly the swept fields")
+    records: List[Dict[str, object]] = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        scenario = base.with_(**dict(zip(names, combo)))
+        result = run(scenario)
+        norm = normalized(scenario)
+        rec: Dict[str, object] = dict(zip(names, combo))
+        rec.update(
+            {
+                "normalized_throughput": norm,
+                "throughput_jobs_per_s": result.throughput(),
+                "median_response_s": result.median_response_time(),
+                "memory_utilization": result.memory_utilization(),
+                "oom_kills": result.oom_kills,
+                "unrunnable": result.n_unrunnable,
+            }
+        )
+        records.append(rec)
+    return records
+
+
+def sweep_table(records: List[Dict[str, object]]) -> tuple:
+    """(headers, rows) for :func:`repro.experiments.report.render_table`."""
+    if not records:
+        return (), []
+    headers = list(records[0].keys())
+    rows = [[rec[h] for h in headers] for rec in records]
+    return headers, rows

@@ -1,0 +1,117 @@
+"""Per-table data producers (paper Tables 1–3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..traces.archer import DISTRIBUTIONS
+from ..traces.grizzly import generate_dataset
+from ..traces.pipeline import synthetic_workload
+from ..traces.workload import Workload
+
+
+def table1_trace_summary() -> List[Dict[str, str]]:
+    """Table 1: which fields each trace source provides.
+
+    Static provenance knowledge, reproduced here so the report renders
+    the same matrix; the checkmarks mirror the paper exactly.
+    """
+    yes, no = "yes", "no"
+    return [
+        {
+            "trace": "Grizzly",
+            "domain": "HPC",
+            "submission_times": no,
+            "memory_request": no,
+            "num_nodes": yes,
+            "job_duration": yes,
+            "memory_trace": yes,
+        },
+        {
+            "trace": "CIRNE",
+            "domain": "HPC",
+            "submission_times": yes,
+            "memory_request": yes,
+            "num_nodes": yes,
+            "job_duration": yes,
+            "memory_trace": no,
+        },
+        {
+            "trace": "Google",
+            "domain": "Cloud",
+            "submission_times": no,
+            "memory_request": "partial",
+            "num_nodes": yes,
+            "job_duration": yes,
+            "memory_trace": "normalised (12 TB assumed)",
+        },
+    ]
+
+
+def table2_memory_distribution(
+    n_samples: int = 20000,
+    grizzly_weeks: int = 2,
+    grizzly_nodes: int = 256,
+    seed: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Table 2: % of jobs per max-memory bin, measured from our samplers.
+
+    Returns ``{"synthetic"|"grizzly": {"all"|"small"|"large": pct[5]}}``.
+    The synthetic columns are measured by sampling the ARCHER-calibrated
+    distributions; the Grizzly columns are measured from a generated
+    dataset (so the generator itself is validated, not just its target).
+    """
+    rng = np.random.default_rng(seed)
+    out: Dict[str, Dict[str, np.ndarray]] = {"synthetic": {}, "grizzly": {}}
+    for klass in ("all", "small", "large"):
+        dist = DISTRIBUTIONS[("archer", klass)]
+        samples = dist.sample_mb(rng, n_samples)
+        out["synthetic"][klass] = dist.binned_percentages(samples)
+    dataset = generate_dataset(n_weeks=grizzly_weeks, n_nodes=grizzly_nodes, seed=seed)
+    jobs = [j for w in dataset.weeks for j in w.jobs]
+    peaks = np.array([j.peak_memory_mb for j in jobs], dtype=np.float64)
+    sizes = np.array([j.n_nodes for j in jobs])
+    dist = DISTRIBUTIONS[("grizzly", "all")]
+    out["grizzly"]["all"] = dist.binned_percentages(peaks)
+    out["grizzly"]["small"] = dist.binned_percentages(peaks[sizes <= 32])
+    out["grizzly"]["large"] = dist.binned_percentages(peaks[sizes > 32])
+    return out
+
+
+def table3_job_characteristics(
+    workload: Optional[Workload] = None,
+    n_jobs: int = 3000,
+    frac_large: float = 0.5,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Tuple[float, ...]]]:
+    """Table 3: quartiles of memory and node-hours per memory class."""
+    if workload is None:
+        workload = synthetic_workload(
+            n_jobs=n_jobs, frac_large=frac_large, overestimation=0.0, seed=seed
+        )
+    return workload.memory_class_stats()
+
+
+#: Paper's published Table 2 values for comparison in reports/tests.
+PAPER_TABLE2 = {
+    ("synthetic", "all"): (61.0, 18.6, 11.5, 6.9, 2.0),
+    ("synthetic", "small"): (69.5, 19.4, 7.7, 3.0, 0.4),
+    ("synthetic", "large"): (53.0, 16.9, 14.8, 11.2, 4.2),
+    ("grizzly", "all"): (73.3, 12.4, 8.2, 5.7, 0.5),
+    ("grizzly", "small"): (63.5, 20.2, 8.5, 7.0, 0.8),
+    ("grizzly", "large"): (77.8, 8.9, 8.0, 5.0, 0.3),
+}
+
+#: Paper's published Table 3 quartiles (MB, node-hours).
+PAPER_TABLE3 = {
+    "normal": {
+        "memory_mb": (0.0, 4037.0, 8089.0, 15341.0, 65532.0),
+        "node_hours": (0.0, 132.0, 2717.0, 29264.0, 23082880.0),
+    },
+    "large": {
+        "memory_mb": (65538.0, 76176.0, 86961.0, 99956.0, 130046.0),
+        "node_hours": (0.0, 256.0, 6720.0, 77028.0, 23329920.0),
+    },
+}

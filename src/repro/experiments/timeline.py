@@ -1,0 +1,114 @@
+"""ASCII schedule timelines.
+
+Renders what the machine was doing over a run: a cluster-occupancy
+strip chart from the sampled utilisation timeline, and a per-job Gantt
+chart from the job records.  Both are pure text (no plotting
+dependency), used by examples and the CLI for schedule debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..metrics.records import JobRecord, SimulationResult
+from ..metrics.utilization import UtilizationTimeline
+
+#: Glyph ramp for occupancy levels (0% .. 100%).
+RAMP = " .:-=+*#%@"
+
+
+def occupancy_strip(
+    timeline: UtilizationTimeline,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """One-line-per-metric strip chart of CPU and memory occupancy.
+
+    Each column aggregates (averages) the samples of one time slice;
+    the glyph encodes the level on a 10-step ramp.
+    """
+    if len(timeline) == 0:
+        raise ValueError("timeline has no samples")
+    times, cpu, mem = timeline.as_arrays()
+    t0, t1 = float(times[0]), float(times[-1])
+    span = max(t1 - t0, 1e-9)
+    edges = np.linspace(t0, t1, width + 1)
+    idx = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, width - 1)
+
+    def strip(values: np.ndarray) -> str:
+        chars = []
+        for col in range(width):
+            mask = idx == col
+            if not mask.any():
+                chars.append(" ")
+                continue
+            level = float(values[mask].mean())
+            chars.append(RAMP[min(int(level * (len(RAMP) - 1)), len(RAMP) - 1)])
+        return "".join(chars)
+
+    lines = [title] if title else []
+    lines.append(f"cpu |{strip(cpu)}|")
+    lines.append(f"mem |{strip(mem)}|")
+    lines.append(f"     {t0:<10.0f}{'':^{max(width - 20, 0)}}{t1:>10.0f}  (s)")
+    lines.append(f"ramp: '{RAMP}' = 0%..100%")
+    return "\n".join(lines)
+
+
+def gantt(
+    records: Sequence[JobRecord],
+    width: int = 72,
+    max_jobs: int = 30,
+    title: str = "",
+) -> str:
+    """Per-job Gantt chart: ``.`` while queued, ``#`` while running.
+
+    Shows up to ``max_jobs`` jobs ordered by submission; wider charts or
+    filtered record lists give finer views.
+    """
+    records = [r for r in records if r.finish_time is not None]
+    if not records:
+        raise ValueError("no finished jobs to draw")
+    records = sorted(records, key=lambda r: (r.submit_time, r.jid))[:max_jobs]
+    t0 = min(r.submit_time for r in records)
+    t1 = max(r.finish_time for r in records)
+    span = max(t1 - t0, 1e-9)
+
+    def col(t: float) -> int:
+        return min(int((t - t0) / span * (width - 1)), width - 1)
+
+    id_w = max(len(str(r.jid)) for r in records)
+    lines = [title] if title else []
+    for r in records:
+        row = [" "] * width
+        start = r.start_time if r.start_time is not None else r.finish_time
+        for c in range(col(r.submit_time), col(start)):
+            row[c] = "."
+        for c in range(col(start), col(r.finish_time) + 1):
+            row[c] = "#"
+        marker = f" x{r.restarts}" if r.restarts else ""
+        lines.append(f"{str(r.jid).rjust(id_w)} |{''.join(row)}|{marker}")
+    lines.append(f"{' ' * id_w}  {t0:<10.0f}{'':^{max(width - 20, 0)}}{t1:>10.0f} (s)")
+    lines.append(". queued   # running   xN = OOM restarts")
+    return "\n".join(lines)
+
+
+def render_run(
+    result: SimulationResult,
+    width: int = 72,
+    max_jobs: int = 25,
+) -> str:
+    """Combined view: occupancy strips (when sampled) plus a Gantt."""
+    parts: List[str] = []
+    timeline = result.meta.get("timeline")
+    if isinstance(timeline, UtilizationTimeline) and len(timeline):
+        parts.append(
+            occupancy_strip(timeline, width=width,
+                            title=f"{result.policy}: cluster occupancy")
+        )
+    parts.append(
+        gantt(result.records, width=width, max_jobs=max_jobs,
+              title=f"{result.policy}: first {max_jobs} jobs")
+    )
+    return "\n\n".join(parts)

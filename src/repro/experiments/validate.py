@@ -1,0 +1,149 @@
+"""Workload validation against the paper's published statistics.
+
+``validate_workload`` runs structural checks (well-formed jobs, sorted
+arrivals, request/peak consistency with the declared overestimation) and
+statistical checks (Table 3 quartiles per memory class, the Table 2
+binning direction, the Fig. 4 average-below-maximum property), returning
+a report the CLI prints and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..traces.archer import LARGE_MEMORY_THRESHOLD_MB
+from ..traces.workload import Workload
+from .tables import PAPER_TABLE3
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """One named pass/fail check with human-readable detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """All checks for one workload."""
+
+    checks: List[ValidationCheck] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(ValidationCheck(name, bool(passed), detail))
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> List[ValidationCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        lines = []
+        for c in self.checks:
+            mark = "ok " if c.passed else "FAIL"
+            detail = f" - {c.detail}" if c.detail else ""
+            lines.append(f"[{mark:4}] {c.name}{detail}")
+        verdict = "all checks passed" if self.passed else (
+            f"{len(self.failures())} check(s) FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def validate_workload(
+    workload: Workload,
+    quartile_tolerance: float = 0.35,
+    min_class_samples: int = 30,
+) -> ValidationReport:
+    """Validate a workload's structure and statistics.
+
+    ``quartile_tolerance`` is the allowed relative deviation of the
+    measured memory-class medians/quartiles from the paper's Table 3.
+    Statistical checks are skipped (reported as passing with a note)
+    when a class has fewer than ``min_class_samples`` jobs.
+    """
+    report = ValidationReport()
+    jobs = workload.jobs
+    report.add("non-empty", len(jobs) > 0, f"{len(jobs)} jobs")
+    if not jobs:
+        return report
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+    submits = [j.submit_time for j in jobs]
+    report.add("arrivals sorted", submits == sorted(submits))
+    report.add(
+        "positive geometry",
+        all(j.n_nodes >= 1 and j.base_runtime > 0 for j in jobs),
+    )
+    report.add(
+        "walltime covers runtime",
+        all(j.walltime_limit >= j.base_runtime for j in jobs),
+    )
+    report.add(
+        "usage within request direction",
+        all(j.usage.peak() <= max(j.mem_request_mb, 1) * 1.001 or
+            j.mem_request_mb == 0 for j in jobs),
+        "peak usage never exceeds the submitted request",
+    )
+
+    ovr = float(workload.meta.get("overestimation", 0.0) or 0.0)
+    expected_ok = all(
+        j.mem_request_mb == int(round(j.usage.peak() * (1.0 + ovr)))
+        for j in jobs
+    )
+    report.add(
+        "request = peak x (1+overestimation)",
+        expected_ok,
+        f"overestimation={ovr:+.0%}",
+    )
+
+    # ------------------------------------------------------------------
+    # Statistical checks (Table 3)
+    # ------------------------------------------------------------------
+    peaks = np.array([j.usage.peak() for j in jobs], dtype=np.float64)
+    normal = peaks[peaks <= LARGE_MEMORY_THRESHOLD_MB]
+    large = peaks[peaks > LARGE_MEMORY_THRESHOLD_MB]
+
+    def check_class(name: str, values: np.ndarray) -> None:
+        paper = PAPER_TABLE3[name]["memory_mb"]
+        if len(values) < min_class_samples:
+            report.add(
+                f"table3 {name}-memory quartiles",
+                True,
+                f"skipped: only {len(values)} samples",
+            )
+            return
+        got = np.quantile(values, [0.25, 0.5, 0.75])
+        want = np.array(paper[1:4])
+        rel = np.abs(got - want) / want
+        report.add(
+            f"table3 {name}-memory quartiles",
+            bool((rel <= quartile_tolerance).all()),
+            f"measured Q1/med/Q3 = {got.round().astype(int).tolist()} MB "
+            f"(paper {[int(w) for w in want]})",
+        )
+
+    check_class("normal", normal)
+    check_class("large", large)
+
+    # ------------------------------------------------------------------
+    # Fig. 4 property: average usage below maximum usage
+    # ------------------------------------------------------------------
+    ratios = np.array(
+        [j.usage.mean(j.base_runtime) / max(j.usage.peak(), 1) for j in jobs]
+    )
+    report.add(
+        "fig4 avg-below-max gap",
+        0.2 < float(ratios.mean()) < 0.95,
+        f"mean avg/peak ratio = {ratios.mean():.2f}",
+    )
+    return report

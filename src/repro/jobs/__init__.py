@@ -1,0 +1,7 @@
+"""Job model: lifecycle states, usage traces, job records."""
+
+from .job import Job
+from .states import TRANSITIONS, JobState, check_transition
+from .usage import UsageTrace
+
+__all__ = ["Job", "JobState", "TRANSITIONS", "UsageTrace", "check_transition"]

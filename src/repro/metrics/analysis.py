@@ -1,0 +1,144 @@
+"""Post-hoc schedule analysis.
+
+Standard parallel-workloads metrics computed from a
+:class:`~repro.metrics.records.SimulationResult`: wait-time and
+(bounded) slowdown distributions, per-memory-class breakdowns, and
+side-by-side policy comparisons.  These go beyond the paper's headline
+metrics and support the examples' deeper dives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.units import LARGE_MEMORY_THRESHOLD_MB
+from .records import JobRecord, SimulationResult
+
+#: Threshold (seconds) below which runtimes are clamped in the bounded
+#: slowdown, per Feitelson's convention (avoids tiny jobs dominating).
+BOUNDED_SLOWDOWN_TAU = 10.0
+
+
+def _quantiles(values: np.ndarray) -> Dict[str, float]:
+    if len(values) == 0:
+        nan = float("nan")
+        return {"min": nan, "q25": nan, "median": nan, "q75": nan,
+                "q95": nan, "max": nan, "mean": nan}
+    return {
+        "min": float(values.min()),
+        "q25": float(np.quantile(values, 0.25)),
+        "median": float(np.quantile(values, 0.5)),
+        "q75": float(np.quantile(values, 0.75)),
+        "q95": float(np.quantile(values, 0.95)),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+    }
+
+
+def wait_time_stats(result: SimulationResult) -> Dict[str, float]:
+    """Quantiles of queue waiting time (first submit to first start)."""
+    return _quantiles(result.wait_times())
+
+
+def response_time_stats(result: SimulationResult) -> Dict[str, float]:
+    return _quantiles(result.response_times())
+
+
+def runtime_dilation_stats(result: SimulationResult) -> Dict[str, float]:
+    """Actual-over-base runtime: the remote-memory slowdown experienced.
+
+    1.0 means the job ran entirely from local memory at full speed.
+    """
+    vals = np.array(
+        [r.slowdown_experienced for r in result.completed()
+         if r.slowdown_experienced is not None and r.restarts == 0],
+        dtype=np.float64,
+    )
+    return _quantiles(vals)
+
+
+def bounded_slowdown(record: JobRecord, tau: float = BOUNDED_SLOWDOWN_TAU) -> Optional[float]:
+    """Feitelson's bounded slowdown for one job."""
+    if record.response_time is None or record.actual_runtime is None:
+        return None
+    return max(record.response_time / max(record.actual_runtime, tau), 1.0)
+
+
+def bounded_slowdown_stats(
+    result: SimulationResult, tau: float = BOUNDED_SLOWDOWN_TAU
+) -> Dict[str, float]:
+    vals = np.array(
+        [s for r in result.completed()
+         if (s := bounded_slowdown(r, tau)) is not None],
+        dtype=np.float64,
+    )
+    return _quantiles(vals)
+
+
+def per_memory_class(
+    result: SimulationResult,
+    threshold_mb: int = LARGE_MEMORY_THRESHOLD_MB,
+) -> Dict[str, Dict[str, float]]:
+    """Response-time stats split into normal- vs large-memory jobs.
+
+    Large-memory jobs are the contended resource; comparing the two
+    classes shows who pays for underprovisioning.
+    """
+    normal, large = [], []
+    for r in result.completed():
+        (large if r.mem_request_mb > threshold_mb else normal).append(
+            r.response_time
+        )
+    return {
+        "normal": _quantiles(np.array(normal, dtype=np.float64)),
+        "large": _quantiles(np.array(large, dtype=np.float64)),
+    }
+
+
+def restart_summary(result: SimulationResult) -> Dict[str, float]:
+    """How much work the OOM restarts threw away (F/R cost)."""
+    restarted = [r for r in result.records if r.restarts > 0]
+    wasted = 0.0
+    for r in restarted:
+        if r.actual_runtime is not None:
+            # Upper bound: every failed attempt ran up to one full
+            # base runtime before dying.
+            wasted += r.restarts * r.base_runtime
+    total_work = sum(r.base_runtime * r.n_nodes for r in result.completed())
+    return {
+        "jobs_restarted": float(len(restarted)),
+        "total_restarts": float(sum(r.restarts for r in restarted)),
+        "wasted_node_seconds_bound": wasted,
+        "wasted_fraction_bound": wasted / total_work if total_work else 0.0,
+    }
+
+
+def compare_policies(
+    results: Dict[str, SimulationResult]
+) -> Sequence[Sequence]:
+    """Rows for a side-by-side policy table (report-ready)."""
+    rows = []
+    for name, res in results.items():
+        waits = wait_time_stats(res)
+        bsld = bounded_slowdown_stats(res)
+        rows.append(
+            [
+                name,
+                res.n_completed,
+                res.throughput(),
+                waits["median"],
+                res.median_response_time(),
+                bsld["median"],
+                res.memory_utilization(),
+                res.oom_kills,
+            ]
+        )
+    return rows
+
+
+COMPARE_HEADERS = (
+    "policy", "done", "jobs/s", "median wait (s)", "median resp (s)",
+    "median bsld", "mem util", "oom",
+)

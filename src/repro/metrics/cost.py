@@ -1,0 +1,38 @@
+"""Cost–benefit model (paper §4.3, Table 4, [27]).
+
+The capital cost of a configuration is ``n_nodes × $10,154`` (node,
+network, switches, small storage) plus ``$1,280`` per 128 GB of
+provisioned memory.  The figure of merit is throughput (jobs/s) per
+dollar; the paper reports values around 4–8 × 10⁻⁸ for a 1024-node
+system.
+"""
+
+from __future__ import annotations
+
+from ..core.config import SystemConfig
+from .records import SimulationResult
+
+
+def cluster_cost_usd(config: SystemConfig) -> float:
+    """Total capital cost of a configuration (delegates to the config)."""
+    return config.cluster_cost_usd()
+
+
+def throughput_per_dollar(result: SimulationResult, config: SystemConfig) -> float:
+    """Jobs per second per dollar of capital cost (Fig. 7 y-axis)."""
+    cost = cluster_cost_usd(config)
+    if cost <= 0:
+        raise ValueError(f"non-positive cluster cost {cost}")
+    return result.throughput() / cost
+
+
+def cost_benefit_gain(
+    dynamic: SimulationResult,
+    static: SimulationResult,
+    config: SystemConfig,
+) -> float:
+    """Relative throughput-per-dollar advantage of dynamic over static."""
+    s = throughput_per_dollar(static, config)
+    if s <= 0:
+        return float("nan")
+    return throughput_per_dollar(dynamic, config) / s - 1.0

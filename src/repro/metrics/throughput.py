@@ -1,0 +1,41 @@
+"""Throughput metrics and normalisation (paper Fig. 5/8)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .records import SimulationResult
+
+
+def normalized_throughput(
+    result: SimulationResult, reference: SimulationResult
+) -> Optional[float]:
+    """Throughput normalised by the reference run.
+
+    The paper normalises by the *baseline policy on a 100%-memory system*
+    (Fig. 5).  Returns ``None`` when the result had unrunnable jobs —
+    rendered as a missing bar.
+    """
+    if not result.all_jobs_ran():
+        return None
+    ref = reference.throughput()
+    if ref <= 0:
+        return None
+    return result.throughput() / ref
+
+
+def relative_gain(a: SimulationResult, b: SimulationResult) -> float:
+    """Relative throughput gain of ``a`` over ``b`` (e.g. dynamic/static - 1)."""
+    tb = b.throughput()
+    if tb <= 0:
+        return float("nan")
+    return a.throughput() / tb - 1.0
+
+
+def throughput_table(
+    results: Dict[str, SimulationResult], reference: SimulationResult
+) -> Dict[str, Optional[float]]:
+    """Normalised throughput per policy name."""
+    return {
+        name: normalized_throughput(res, reference) for name, res in results.items()
+    }

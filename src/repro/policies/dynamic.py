@@ -1,0 +1,195 @@
+"""Dynamic disaggregated-memory policy (paper §2.2–2.3).
+
+The initial allocation equals the submission-time request, exactly as in
+the static policy.  Once the job runs, the Monitor reports its usage and
+the Decider compares usage against the current allocation every update
+window (~5 simulated minutes):
+
+* usage **below** allocation → the Actuator deallocates the surplus,
+  *remote memory first, then local*;
+* usage **above** allocation → the Actuator allocates the deficit,
+  *locally if possible, then remotely*, maximising the local-to-remote
+  ratio;
+* deficit unsatisfiable (the pool is exhausted) → **out of memory**: the
+  job is terminated, its resources released, and it is resubmitted
+  (Fail/Restart by default, Checkpoint/Restart optionally).
+
+Fairness mitigation (paper §2.2): after ``max_oom_failures`` kills a job
+is started with a *static, guaranteed* allocation and is no longer
+resized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from ..cluster.allocation import JobAllocation
+from ..cluster.cluster import Cluster
+from ..jobs.job import Job
+from .base import UpdateOutcome
+from .static import StaticDisaggregatedPolicy
+
+
+class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
+    """Usage-tracking reallocation on top of the static admission rule."""
+
+    name = "dynamic"
+    uses_disaggregation = True
+    is_dynamic = True
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        headroom_mb: int = 0,
+        max_oom_failures: int = 3,
+        checkpoint_restart: bool = False,
+        monitor_noise: float = 0.0,
+        monitor_seed: int = 0,
+        oom_priority_boost: bool = False,
+        checkpoint_interval: Optional[float] = None,
+    ):
+        super().__init__(cluster)
+        if headroom_mb < 0:
+            raise ValueError(f"negative headroom {headroom_mb}")
+        if max_oom_failures < 0:
+            raise ValueError(f"negative max_oom_failures {max_oom_failures}")
+        if monitor_noise < 0:
+            raise ValueError(f"negative monitor_noise {monitor_noise}")
+        self.headroom_mb = headroom_mb
+        self.max_oom_failures = max_oom_failures
+        self.checkpoint_restart = checkpoint_restart
+        #: relative std-dev of the Monitor's usage readings (0 = perfect;
+        #: real LDMS-style telemetry is sampled and noisy — ablation knob)
+        self.monitor_noise = monitor_noise
+        self._monitor_rng = np.random.default_rng(monitor_seed)
+        #: paper §2.2 fairness mitigation: restarted jobs keep their
+        #: original queue priority instead of re-queuing at the tail
+        self.oom_priority_boost = oom_priority_boost
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        #: with C/R: work seconds between periodic checkpoints (None =
+        #: an idealised checkpoint exactly at the kill point)
+        self.checkpoint_interval = checkpoint_interval
+        #: jobs pinned to a static guaranteed allocation after repeated OOMs
+        self._pinned: Set[int] = set()
+        #: highest per-node demand seen before each job's OOM kills
+        self._observed_peak: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _request_of(self, job: Job) -> int:
+        """Pinned jobs are admitted with the demand that killed them, so
+        the guaranteed allocation actually covers the observed usage."""
+        if job.jid in self._pinned:
+            return max(job.mem_request_mb, self._observed_peak.get(job.jid, 0))
+        return job.mem_request_mb
+
+    def plan(self, job: Job) -> Optional[JobAllocation]:
+        if job.restarts >= self.max_oom_failures:
+            self._pinned.add(job.jid)
+        return super().plan(job)
+
+    def is_pinned(self, job: Job) -> bool:
+        return job.jid in self._pinned
+
+    def on_finish(self, job: Job) -> None:
+        self._pinned.discard(job.jid)
+        self._observed_peak.pop(job.jid, None)
+
+    # ------------------------------------------------------------------
+    def update(self, job: Job, progress: float, window: float) -> UpdateOutcome:
+        """One Decider/Actuator step for a running job.
+
+        ``progress`` is the job's current work position and ``window`` the
+        progress span until the next update; the enforced demand is the
+        maximum usage in that span (paper §2.3).
+        """
+        out = UpdateOutcome()
+        if job.jid in self._pinned:
+            return out
+        c = self.cluster
+        alloc = c.allocations.get(job.jid)
+        if alloc is None:
+            return out
+        reference = job.usage.max_in(progress, progress + window)
+        if self.monitor_noise > 0.0:
+            # Noisy telemetry: the Decider sees a perturbed reading, but
+            # never below the memory resident right now (the Monitor
+            # cannot report less than what is mapped).
+            noise = 1.0 + self._monitor_rng.normal(0.0, self.monitor_noise)
+            observed = int(round(reference * max(noise, 0.0)))
+            reference = max(observed, job.usage.usage_at(progress))
+        reference += self.headroom_mb
+        prev = self._observed_peak.get(job.jid, 0)
+        if reference > prev:
+            self._observed_peak[job.jid] = reference
+        for rank, node in enumerate(alloc.nodes):
+            # Per-node demand: the Monitor reports each node separately
+            # (paper Fig. 1a); ranks may have imbalanced footprints.
+            demand = int(round(reference * job.rank_scale(rank)))
+            current = alloc.total_on(node)
+            if demand < current:
+                self._shrink(job.jid, alloc, node, current - demand, out)
+            elif demand > current:
+                if not self._grow(job.jid, alloc, node, demand - current, out):
+                    out.oom = True
+                    return out
+        out.resized = out.freed_mb > 0 or out.grown_mb > 0
+        return out
+
+    # ------------------------------------------------------------------
+    def _shrink(
+        self, jid: int, alloc: JobAllocation, node: int, excess: int, out: UpdateOutcome
+    ) -> None:
+        """Release ``excess`` MB on ``node``: remote first, then local."""
+        c = self.cluster
+        remote_map = alloc.remote_mb.get(node, {})
+        # Release from the most-loaded lenders first so memory nodes
+        # recover their ability to start jobs sooner.
+        for lender in sorted(remote_map, key=lambda l: -remote_map[l]):
+            if excess <= 0:
+                break
+            give = min(remote_map[lender], excess)
+            c.remove_remote(jid, node, lender, give)
+            out.freed_mb += give
+            out.touched_nodes.append(lender)
+            excess -= give
+        if excess > 0:
+            local = alloc.local_mb.get(node, 0)
+            give = min(local, excess)
+            if give > 0:
+                c.shrink_local(jid, node, give)
+                out.freed_mb += give
+                out.touched_nodes.append(node)
+
+    def _grow(
+        self, jid: int, alloc: JobAllocation, node: int, deficit: int, out: UpdateOutcome
+    ) -> bool:
+        """Acquire ``deficit`` MB on ``node``: local first, then remote.
+
+        Returns ``False`` when the pool cannot cover the remainder (OOM).
+        """
+        c = self.cluster
+        free_local = int(
+            c.capacity_mb[node] - c.local_used_mb[node] - c.lent_mb[node]
+        )
+        take = min(free_local, deficit)
+        if take > 0:
+            c.grow_local(jid, node, take)
+            out.grown_mb += take
+            out.touched_nodes.append(node)
+            deficit -= take
+        if deficit == 0:
+            return True
+        # Any node but this one may lend — including the job's own nodes.
+        plan = self.pool.plan_borrow(deficit, exclude=[node], near=node)
+        if plan is None:
+            return False
+        for lender, mb in plan:
+            c.add_remote(jid, node, lender, mb)
+            out.grown_mb += mb
+            out.touched_nodes.append(lender)
+        return True

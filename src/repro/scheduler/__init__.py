@@ -1,0 +1,15 @@
+"""Slurm-like scheduling: queue, EASY backfill, controller, simulator."""
+
+from .backfill import can_backfill, expected_finish, shadow_time
+from .controller import Controller
+from .queue import PendingQueue
+from .simulator import simulate
+
+__all__ = [
+    "Controller",
+    "PendingQueue",
+    "can_backfill",
+    "expected_finish",
+    "shadow_time",
+    "simulate",
+]

@@ -1,0 +1,415 @@
+"""The Slurm-like controller (``slurmctld`` of Fig. 1).
+
+The controller owns the pending queue and the running set, runs the
+FCFS + EASY-backfill scheduling pass on the configured 30 s cadence,
+starts and finishes jobs, and drives the dynamic policy's
+Monitor → Decider → Actuator → Executor loop on the 5-minute update
+cadence.  All resource mutations flow through
+:class:`repro.cluster.Cluster`, and every slowdown change re-prices the
+affected finish events (jobs advance in work seconds; wall duration is
+``remaining_work × slowdown``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..cluster.allocation import JobAllocation
+from ..cluster.cluster import Cluster
+from ..core.config import SystemConfig
+from ..core.engine import Engine
+from ..core.events import Event, EventKind
+from ..jobs.job import Job
+from ..jobs.states import JobState
+from ..metrics.records import JobRecord, SimulationResult
+from ..metrics.utilization import UtilizationTimeline
+from ..policies.base import AllocationPolicy
+from ..slowdown.model import ContentionModel
+from .backfill import can_backfill, shadow_time
+from .eventlog import EventLog, NullEventLog
+from . import eventlog as _ev
+from .queue import PendingQueue
+
+#: Relative slowdown change below which finish events are not rescheduled.
+_REPRICE_EPS = 1e-9
+
+
+class Controller:
+    """Central resource manager wired into an :class:`Engine`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        policy: AllocationPolicy,
+        model: ContentionModel,
+        config: SystemConfig,
+        sample_interval: Optional[float] = None,
+        event_log: Optional[EventLog] = None,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.policy = policy
+        self.model = model
+        self.config = config
+        self.pending = PendingQueue()
+        self.jobs: Dict[int, Job] = {}
+        self.running: Dict[int, Job] = {}
+        self.finish_events: Dict[int, Event] = {}
+        self.result = SimulationResult(
+            policy=policy.name,
+            total_nodes=cluster.n_nodes,
+            total_capacity_mb=cluster.total_capacity_mb(),
+        )
+        self.timeline = UtilizationTimeline()
+        self.sample_interval = sample_interval
+        self.event_log = event_log if event_log is not None else NullEventLog()
+        self._last_account = 0.0
+        self._sched_scheduled = False
+        self._mem_scheduled = False
+        self._dirty = False
+
+        #: wall-limit kill events, only when config.enforce_walltime
+        self.wall_events: Dict[int, Event] = {}
+
+        engine.on(EventKind.JOB_SUBMIT, self._on_submit)
+        engine.on(EventKind.JOB_FINISH, self._on_finish)
+        engine.on(EventKind.JOB_KILL, self._on_wall_kill)
+        engine.on(EventKind.SCHED_PASS, self._on_sched)
+        engine.on(EventKind.MEM_UPDATE, self._on_mem_update)
+        engine.on(EventKind.SAMPLE, self._on_sample)
+
+    # ------------------------------------------------------------------
+    # Workload loading
+    # ------------------------------------------------------------------
+    def load(self, jobs: Iterable[Job]) -> None:
+        """Register jobs and schedule their submission events."""
+        for job in jobs:
+            if job.jid in self.jobs:
+                raise ValueError(f"duplicate job id {job.jid}")
+            self.jobs[job.jid] = job
+            self.engine.at(job.submit_time, EventKind.JOB_SUBMIT, job)
+        if self.sample_interval:
+            self.engine.at(0.0, EventKind.SAMPLE, None)
+
+    # ------------------------------------------------------------------
+    # Time integrals
+    # ------------------------------------------------------------------
+    def _account(self, now: float) -> None:
+        dt = now - self._last_account
+        if dt <= 0:
+            return
+        busy = int(self.cluster.busy.sum())
+        self.result.node_busy_seconds += busy * dt
+        self.result.mem_allocated_mb_seconds += self.cluster.total_allocated_mb() * dt
+        # Lent memory == remote memory in use (conservation invariant).
+        self.result.mem_remote_mb_seconds += int(self.cluster.lent_mb.sum()) * dt
+        self._last_account = now
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_submit(self, engine: Engine, ev: Event) -> None:
+        job: Job = ev.payload
+        self._account(engine.now)
+        self.event_log.log(engine.now, _ev.SUBMIT, job.jid,
+                           f"n={job.n_nodes} req={job.mem_request_mb}MB")
+        if not self.policy.can_ever_run(job):
+            job.set_state(JobState.UNRUNNABLE)
+            self.result.unrunnable.append(job.jid)
+            self.event_log.log(engine.now, _ev.UNRUNNABLE, job.jid)
+            return
+        self.pending.add(job)
+        self._dirty = True
+        self._request_sched(engine.now)
+
+    def _on_sched(self, engine: Engine, ev: Event) -> None:
+        self._sched_scheduled = False
+        if not self._dirty or not self.pending:
+            return
+        self._account(engine.now)
+        self._sched_pass(engine.now)
+
+    def _on_finish(self, engine: Engine, ev: Event) -> None:
+        job: Job = ev.payload
+        now = engine.now
+        self._account(now)
+        self._advance(job, now)
+        alloc = self.cluster.release(job.jid)
+        self.running.pop(job.jid, None)
+        self.finish_events.pop(job.jid, None)
+        self._cancel_wall_event(job)
+        job.set_state(JobState.COMPLETED)
+        job.finish_time = now
+        self.policy.on_finish(job)
+        self.event_log.log(now, _ev.FINISH, job.jid,
+                           f"runtime={now - (job.start_time or now):.0f}s")
+        self.result.records.append(self._record_of(job, now))
+        self.result.makespan = max(self.result.makespan, now)
+        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        self._reprice(self.model.affected_jobs(self.cluster, touched), now)
+        self._dirty = True
+        self._request_sched(now)
+
+    def _on_mem_update(self, engine: Engine, ev: Event) -> None:
+        self._mem_scheduled = False
+        now = engine.now
+        self._account(now)
+        affected: Set[int] = set()
+        freed = False
+        # Deterministic iteration order over running jobs.
+        for jid in sorted(self.running):
+            job = self.running.get(jid)
+            if job is None or job.state is not JobState.RUNNING:
+                continue
+            self._advance(job, now)
+            window = self.config.update_interval / max(job.slowdown, 1.0)
+            outcome = self.policy.update(job, job.work_done, window)
+            if outcome.oom:
+                affected.update(self._kill(job, now))
+                freed = True
+                continue
+            if outcome.resized:
+                self.event_log.log(
+                    now, _ev.RESIZE, job.jid,
+                    f"freed={outcome.freed_mb}MB grown={outcome.grown_mb}MB",
+                )
+            if outcome.touched_nodes:
+                affected.update(
+                    self.model.affected_jobs(self.cluster, outcome.touched_nodes)
+                )
+            if outcome.freed_mb > 0:
+                freed = True
+        self._reprice(affected, now)
+        if freed:
+            self._dirty = True
+            self._request_sched(now)
+        if self.running or self.pending:
+            self._schedule_mem_update(now)
+
+    def _on_sample(self, engine: Engine, ev: Event) -> None:
+        now = engine.now
+        cap = self.cluster.total_capacity_mb()
+        self.timeline.record(
+            now,
+            self.cluster.cpu_utilization(),
+            self.cluster.total_allocated_mb() / cap if cap else 0.0,
+        )
+        if self.running or self.pending or len(self.engine.queue) > 0:
+            self.engine.at(now + self.sample_interval, EventKind.SAMPLE, None)
+
+    # ------------------------------------------------------------------
+    # Scheduling pass: FCFS + EASY backfill
+    # ------------------------------------------------------------------
+    def _sched_pass(self, now: float) -> None:
+        self._dirty = False
+        consider = self.pending.head(self.config.queue_depth)
+        blocked: Optional[Job] = None
+        shadow = float("inf")
+        backfill_seen = 0
+        for job in consider:
+            if job.state is not JobState.PENDING:
+                continue
+            if blocked is None:
+                alloc = self._try_plan(job)
+                if alloc is not None:
+                    self._start(job, alloc, now)
+                    continue
+                if self.config.scheduling == "fcfs":
+                    # Strict FCFS ablation: nothing may overtake the
+                    # blocked head-of-queue job.
+                    break
+                blocked = job
+                shadow = shadow_time(
+                    job,
+                    self.cluster,
+                    self.running.values(),
+                    now,
+                    self.policy.uses_disaggregation,
+                )
+                continue
+            backfill_seen += 1
+            if backfill_seen > self.config.backfill_depth:
+                break
+            if not can_backfill(job, now, shadow):
+                continue
+            alloc = self._try_plan(job)
+            if alloc is not None:
+                self._start(job, alloc, now)
+
+    def _try_plan(self, job: Job) -> Optional[JobAllocation]:
+        """Cheap feasibility pre-checks, then the policy's planner."""
+        c = self.cluster
+        if self.policy.uses_disaggregation:
+            if int(c.startable().sum()) < job.n_nodes:
+                return None
+            if job.n_nodes * job.mem_request_mb > int(c.free_local().sum()):
+                return None
+        else:
+            fits = (~c.busy) & (c.capacity_mb >= job.mem_request_mb)
+            if int(fits.sum()) < job.n_nodes:
+                return None
+        return self.policy.plan(job)
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def _start(self, job: Job, alloc: JobAllocation, now: float) -> None:
+        self.pending.remove(job)
+        self.cluster.apply(job.jid, alloc)
+        job.set_state(JobState.RUNNING)
+        job.start_time = now
+        if job.first_start_time is None:
+            job.first_start_time = now
+        job.last_progress_time = now
+        self.running[job.jid] = job
+        job.slowdown = self.model.slowdown(job, self.cluster, self.jobs)
+        self.event_log.log(
+            now, _ev.START, job.jid,
+            f"nodes={alloc.nodes[:4]}{'...' if len(alloc.nodes) > 4 else ''} "
+            f"local={alloc.total_local()}MB remote={alloc.total_remote()}MB "
+            f"slowdown={job.slowdown:.3f}",
+        )
+        self._schedule_finish(job, now)
+        if self.config.enforce_walltime:
+            self.wall_events[job.jid] = self.engine.at(
+                now + job.walltime_limit, EventKind.JOB_KILL, job
+            )
+        # New borrowings may add contention on shared lenders.
+        touched = [lender for lender, _ in alloc.lenders()]
+        if touched:
+            others = self.model.affected_jobs(self.cluster, touched)
+            others.discard(job.jid)
+            self._reprice(others, now)
+        if self.policy.is_dynamic:
+            self._schedule_mem_update(now)
+
+    def _on_wall_kill(self, engine: Engine, ev: Event) -> None:
+        """Wall-limit enforcement: terminate the job (TIMEOUT, terminal)."""
+        job: Job = ev.payload
+        if job.state is not JobState.RUNNING:
+            return  # stale event (job finished in the same tick)
+        now = engine.now
+        self._account(now)
+        self._advance(job, now)
+        alloc = self.cluster.release(job.jid)
+        self.running.pop(job.jid, None)
+        fev = self.finish_events.pop(job.jid, None)
+        if fev is not None:
+            self.engine.cancel(fev)
+        self.wall_events.pop(job.jid, None)
+        job.set_state(JobState.TIMEOUT)
+        self.event_log.log(now, _ev.TIMEOUT, job.jid,
+                           f"limit={job.walltime_limit:.0f}s")
+        job.finish_time = now
+        self.policy.on_finish(job)
+        self.result.timeouts += 1
+        self.result.records.append(self._record_of(job, now))
+        self.result.makespan = max(self.result.makespan, now)
+        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        self._reprice(self.model.affected_jobs(self.cluster, touched), now)
+        self._dirty = True
+        self._request_sched(now)
+
+    def _cancel_wall_event(self, job: Job) -> None:
+        ev = self.wall_events.pop(job.jid, None)
+        if ev is not None:
+            self.engine.cancel(ev)
+
+    def _kill(self, job: Job, now: float) -> Set[int]:
+        """OOM kill: release, requeue (F/R or C/R).  Returns affected jids."""
+        alloc = self.cluster.release(job.jid)
+        self.running.pop(job.jid, None)
+        self._cancel_wall_event(job)
+        ev = self.finish_events.pop(job.jid, None)
+        if ev is not None:
+            self.engine.cancel(ev)
+        job.set_state(JobState.KILLED)
+        self.event_log.log(now, _ev.OOM_KILL, job.jid,
+                           f"restarts={job.restarts + 1}")
+        self.result.oom_kills += 1
+        keep = getattr(self.policy, "checkpoint_restart", False)
+        boost = getattr(self.policy, "oom_priority_boost", False)
+        quantum = getattr(self.policy, "checkpoint_interval", None)
+        job.reset_for_restart(now, keep_checkpoint=keep, keep_priority=boost,
+                              checkpoint_quantum=quantum)
+        self.pending.add(job)
+        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        return self.model.affected_jobs(self.cluster, touched)
+
+    # ------------------------------------------------------------------
+    # Progress and repricing
+    # ------------------------------------------------------------------
+    def _advance(self, job: Job, now: float) -> None:
+        dt = now - job.last_progress_time
+        if dt > 0:
+            job.work_done = min(
+                job.work_done + dt / max(job.slowdown, 1.0), job.base_runtime
+            )
+            job.last_progress_time = now
+
+    def _schedule_finish(self, job: Job, now: float) -> None:
+        old = self.finish_events.get(job.jid)
+        if old is not None:
+            self.engine.cancel(old)
+        wall = job.remaining_work * max(job.slowdown, 1.0)
+        self.finish_events[job.jid] = self.engine.at(
+            now + wall, EventKind.JOB_FINISH, job
+        )
+
+    def _reprice(self, jids: Iterable[int], now: float) -> None:
+        cache: Dict[int, float] = {}
+        for jid in sorted(set(jids)):
+            job = self.running.get(jid)
+            if job is None or job.state is not JobState.RUNNING:
+                continue
+            self._advance(job, now)
+            new_s = self.model.slowdown(job, self.cluster, self.jobs, cache)
+            if abs(new_s - job.slowdown) > _REPRICE_EPS:
+                job.slowdown = new_s
+                self._schedule_finish(job, now)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _request_sched(self, now: float) -> None:
+        if self._sched_scheduled:
+            return
+        interval = self.config.sched_interval
+        t = now if now % interval == 0 else (int(now // interval) + 1) * interval
+        self.engine.at(t, EventKind.SCHED_PASS, None)
+        self._sched_scheduled = True
+
+    def _schedule_mem_update(self, now: float) -> None:
+        if self._mem_scheduled or not self.policy.is_dynamic:
+            return
+        self.engine.at(now + self.config.update_interval, EventKind.MEM_UPDATE, None)
+        self._mem_scheduled = True
+
+    # ------------------------------------------------------------------
+    def _record_of(self, job: Job, now: float) -> JobRecord:
+        start = job.start_time if job.start_time is not None else now
+        return JobRecord(
+            jid=job.jid,
+            n_nodes=job.n_nodes,
+            submit_time=job.submit_time,
+            start_time=job.first_start_time,
+            finish_time=now,
+            base_runtime=job.base_runtime,
+            actual_runtime=now - start,
+            mem_request_mb=job.mem_request_mb,
+            peak_usage_mb=job.peak_usage_mb,
+            restarts=job.restarts,
+            state=job.state,
+            user=job.user,
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> SimulationResult:
+        """Close the books after the engine drains."""
+        self._account(self.engine.now)
+        submits = [j.submit_time for j in self.jobs.values()]
+        self.result.first_submit = min(submits) if submits else 0.0
+        self.result.events_processed = self.engine.events_processed
+        self.result.meta.setdefault("timeline", self.timeline)
+        return self.result

@@ -1,0 +1,94 @@
+"""Top-level simulation entry point.
+
+:func:`simulate` wires a workload, a system configuration and a policy
+into the event engine and runs the trace to completion — the Python
+equivalent of one Slurm-simulator run (paper Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..cluster.cluster import Cluster
+from ..core.config import SystemConfig
+from ..core.engine import Engine
+from ..core.errors import SimulationError
+from ..jobs.job import Job
+from ..metrics.records import SimulationResult
+from ..policies import make_policy
+from ..policies.base import AllocationPolicy
+from ..slowdown.model import ContentionModel
+from ..slowdown.profiles import AppProfile, profile_pool
+from .controller import Controller
+from .eventlog import EventLog
+
+
+def simulate(
+    jobs: Iterable[Job],
+    config: SystemConfig,
+    policy: Union[str, AllocationPolicy] = "dynamic",
+    profiles: Optional[Sequence[AppProfile]] = None,
+    model: Optional[ContentionModel] = None,
+    sample_interval: Optional[float] = None,
+    log_events: bool = False,
+    max_events: int = 50_000_000,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Run one scheduling simulation and return its metrics.
+
+    Parameters
+    ----------
+    jobs:
+        The workload (fresh :class:`~repro.jobs.Job` objects; they are
+        mutated during the run, so pass a newly generated trace or use
+        :meth:`repro.traces.Workload.fresh_jobs`).
+    config:
+        System description (node counts, memory classes, intervals).
+    policy:
+        ``"baseline"``, ``"static"``, ``"dynamic"``, or a ready-made
+        policy instance bound to a cluster of your own making.
+    profiles / model:
+        Slowdown-model inputs; defaults to the built-in profile pool.
+    sample_interval:
+        If set, record a utilisation timeline sample every so many
+        simulated seconds.
+    log_events:
+        Record a structured event log (``result.meta["event_log"]``) of
+        submits, starts, finishes, resizes, and kills.
+    """
+    engine = Engine()
+    if isinstance(policy, str):
+        cluster = Cluster(config)
+        pol = make_policy(policy, cluster, **policy_kwargs)
+    else:
+        # A ready-made policy brings its own cluster; it must match config.
+        pol = policy
+        cluster = pol.cluster
+        if cluster.config != config:
+            raise SimulationError(
+                "policy instance's cluster config differs from the config "
+                "passed to simulate()"
+            )
+    if model is None:
+        model = ContentionModel(
+            profiles if profiles is not None else profile_pool(),
+            node_bw_gbps=config.node_bw_gbps,
+        )
+    event_log = EventLog() if log_events else None
+    controller = Controller(
+        engine, cluster, pol, model, config,
+        sample_interval=sample_interval, event_log=event_log,
+    )
+    controller.load(jobs)
+    engine.run(max_events=max_events)
+    if controller.running or controller.pending:
+        raise SimulationError(
+            f"simulation drained with {len(controller.running)} running and "
+            f"{len(controller.pending)} pending jobs (scheduling livelock?)"
+        )
+    cluster.check_invariants()
+    result = controller.finalize()
+    result.meta["config"] = config
+    if event_log is not None:
+        result.meta["event_log"] = event_log
+    return result

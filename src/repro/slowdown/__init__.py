@@ -1,0 +1,14 @@
+"""Remote-memory slowdown model and application profiles."""
+
+from .model import MAX_SLOWDOWN, ContentionModel, NullContentionModel
+from .profiles import DEFAULT_PROFILES, AppProfile, match_profile, profile_pool
+
+__all__ = [
+    "AppProfile",
+    "ContentionModel",
+    "DEFAULT_PROFILES",
+    "MAX_SLOWDOWN",
+    "NullContentionModel",
+    "match_profile",
+    "profile_pool",
+]

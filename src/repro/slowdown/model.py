@@ -1,0 +1,181 @@
+"""Remote-memory contention model (Zacarias et al. [45, 47]).
+
+The model prices the performance of a job under disaggregated memory from
+two effects:
+
+1. **Remote placement** — a fraction ``rf`` of the job's memory lives on
+   lender nodes; accesses pay remote latency/bandwidth.  The per-app
+   *remote sensitivity* converts ``rf`` into a base slowdown.
+2. **Bandwidth contention** — borrowers sharing a lender compete for that
+   node's injection bandwidth.  Each borrowing job directs
+   ``bw_demand × rf`` of traffic, split across its lenders pro rata to the
+   MB borrowed.  A lender whose aggregate demand exceeds its link
+   bandwidth is *oversubscribed*; its borrowers are further slowed in
+   proportion to the per-app *contention sensitivity*.
+
+``slowdown = 1 + remote_sensitivity·rf·(1 + contention_sensitivity·C)``
+
+where ``C`` is the MB-weighted mean oversubscription over the job's
+lenders.  The model matches the published one in structure (sensitivity
+curve × contentiousness on remote bandwidth; remote accesses bypass local
+caches so only remote bandwidth is modelled, paper §2.1) with synthetic
+coefficients from :mod:`repro.slowdown.profiles`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from ..cluster.allocation import JobAllocation
+from ..cluster.cluster import Cluster
+from ..jobs.job import Job
+from .profiles import AppProfile
+
+#: Hard cap keeping pathological configurations finite.
+MAX_SLOWDOWN = 4.0
+
+
+class ContentionModel:
+    """Computes per-job slowdown from the current memory layout.
+
+    ``distance_penalty`` (default 0 = the paper's distance-free model)
+    scales the remote term by how far the job's borrowed pages sit on the
+    torus relative to the machine's mean hop distance — the extension
+    that pairs with the pool's ``nearest`` lender strategy.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[AppProfile],
+        node_bw_gbps: float = 100.0,
+        distance_penalty: float = 0.0,
+    ):
+        if node_bw_gbps <= 0:
+            raise ValueError(f"node bandwidth must be positive, got {node_bw_gbps}")
+        if distance_penalty < 0:
+            raise ValueError(f"negative distance_penalty {distance_penalty}")
+        self.profiles = list(profiles)
+        self.node_bw_gbps = node_bw_gbps
+        self.distance_penalty = distance_penalty
+
+    # ------------------------------------------------------------------
+    def _distance_factor(self, cluster: Cluster, alloc: JobAllocation) -> float:
+        """MB-weighted relative hop distance of the job's remote pages.
+
+        1.0 at the machine's mean hop distance; <1 for near lenders.
+        Scaled by ``distance_penalty`` into a multiplicative factor on
+        the remote term, floored at 0.5 (even adjacent memory is remote).
+        """
+        if self.distance_penalty == 0.0:
+            return 1.0
+        total_mb = 0
+        weighted = 0.0
+        for node, lender_map in alloc.remote_mb.items():
+            row = cluster.distance_row(node)
+            for lender, mb in lender_map.items():
+                weighted += mb * row[lender]
+                total_mb += mb
+        if total_mb == 0:
+            return 1.0
+        mean_hops = cluster.torus.mean_hop_distance()
+        if mean_hops <= 0:
+            return 1.0
+        relative = (weighted / total_mb) / mean_hops
+        return max(1.0 + self.distance_penalty * (relative - 1.0), 0.5)
+
+    # ------------------------------------------------------------------
+    def remote_bw_demand(self, job: Job, alloc: JobAllocation) -> float:
+        """Remote traffic (GB/s) this job directs at the pool in total."""
+        prof = self.profiles[job.profile]
+        return prof.bw_demand_gbps * alloc.remote_fraction() * job.n_nodes
+
+    def lender_demand(
+        self, cluster: Cluster, jobs: Dict[int, Job], lender: int
+    ) -> float:
+        """Aggregate remote-traffic demand (GB/s) on one lender node."""
+        demand = 0.0
+        for jid, mb in cluster.borrowers_of(lender).items():
+            job = jobs.get(jid)
+            alloc = cluster.allocations.get(jid)
+            if job is None or alloc is None:
+                continue
+            total_remote = alloc.total_remote()
+            if total_remote <= 0:
+                continue
+            demand += self.remote_bw_demand(job, alloc) * (mb / total_remote)
+        return demand
+
+    def oversubscription(
+        self, cluster: Cluster, jobs: Dict[int, Job], lender: int
+    ) -> float:
+        """How far beyond its link bandwidth a lender is driven (>= 0)."""
+        demand = self.lender_demand(cluster, jobs, lender)
+        return max(demand / self.node_bw_gbps - 1.0, 0.0)
+
+    # ------------------------------------------------------------------
+    def slowdown(
+        self,
+        job: Job,
+        cluster: Cluster,
+        jobs: Dict[int, Job],
+        osub_cache: Optional[Dict[int, float]] = None,
+    ) -> float:
+        """Current slowdown factor (>= 1) for a running job.
+
+        ``osub_cache`` memoises per-lender oversubscription within one
+        repricing batch (many borrowers share lenders).
+        """
+        alloc = cluster.allocations.get(job.jid)
+        if alloc is None:
+            return 1.0
+        rf = alloc.remote_fraction()
+        if rf <= 0.0:
+            return 1.0
+        prof = self.profiles[job.profile]
+        # MB-weighted mean oversubscription over this job's lenders.
+        total_mb = 0
+        weighted = 0.0
+        for lender, mb in alloc.lenders():
+            if osub_cache is not None and lender in osub_cache:
+                osub = osub_cache[lender]
+            else:
+                osub = self.oversubscription(cluster, jobs, lender)
+                if osub_cache is not None:
+                    osub_cache[lender] = osub
+            weighted += mb * osub
+            total_mb += mb
+        contention = weighted / total_mb if total_mb else 0.0
+        s = 1.0 + prof.remote_sensitivity * rf * (
+            1.0 + prof.contention_sensitivity * contention
+        ) * self._distance_factor(cluster, alloc)
+        return min(s, MAX_SLOWDOWN)
+
+    # ------------------------------------------------------------------
+    def affected_jobs(
+        self, cluster: Cluster, touched_nodes: Iterable[int]
+    ) -> Set[int]:
+        """Job ids whose slowdown may change when ``touched_nodes`` change.
+
+        These are the borrowers of every touched lender, plus the jobs
+        running on the touched nodes themselves.
+        """
+        out: Set[int] = set()
+        for node in touched_nodes:
+            out.update(cluster.borrowers_of(node).keys())
+            jid = int(cluster.job_on_node[node])
+            if jid >= 0:
+                out.add(jid)
+        return out
+
+
+class NullContentionModel(ContentionModel):
+    """Ablation: remote memory is free (slowdown always 1)."""
+
+    def __init__(self) -> None:  # no profiles needed
+        super().__init__(profiles=[], node_bw_gbps=1.0)
+
+    def slowdown(self, job, cluster, jobs, osub_cache=None) -> float:
+        return 1.0
+
+    def affected_jobs(self, cluster, touched_nodes):
+        return set()

@@ -1,0 +1,49 @@
+"""Trace toolkit: SWF I/O, generators, matching, the Fig. 3 pipeline."""
+
+from . import archer, cirne, google, grizzly
+from .archer import LARGE_MEMORY_THRESHOLD_MB, MemoryDistribution
+from .io import (
+    load_workload,
+    result_records_csv,
+    result_to_dict,
+    save_result,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .matching import log_features, match_nearest, normalise_features
+from .pipeline import grizzly_workload, synthetic_workload
+from .rdp import rdp, rdp_indices
+from .shapes import flat_usage, phased_usage, spike_usage
+from .swf import SWFRecord, SWFTrace
+from .workload import SIZE_BIN_LABELS, Workload
+
+__all__ = [
+    "LARGE_MEMORY_THRESHOLD_MB",
+    "MemoryDistribution",
+    "SIZE_BIN_LABELS",
+    "SWFRecord",
+    "SWFTrace",
+    "Workload",
+    "archer",
+    "cirne",
+    "flat_usage",
+    "google",
+    "grizzly",
+    "grizzly_workload",
+    "load_workload",
+    "log_features",
+    "match_nearest",
+    "normalise_features",
+    "phased_usage",
+    "rdp",
+    "rdp_indices",
+    "result_records_csv",
+    "result_to_dict",
+    "save_result",
+    "save_workload",
+    "spike_usage",
+    "synthetic_workload",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,164 @@
+"""Memory-demand distributions (paper Table 2 and Table 3).
+
+Two published datasets drive the per-node peak-memory sampling:
+
+* **Table 2** — binned distribution of per-node maximum memory usage,
+  adapted from the ARCHER survey [41] ("Synthetic" columns) and from the
+  Grizzly dataset, split by *job size class* (small = ≤32 nodes,
+  large = >32 nodes).
+* **Table 3** — quartiles of the per-node memory demand for
+  *normal-memory* (< 64 GB/node) and *large-memory* (≥ 64 GB/node) jobs,
+  which pin down the within-bin shape.
+
+Sampling is hierarchical: pick a bin from the Table 2 class distribution,
+then draw log-uniformly inside the bin.  Log-uniform within-bin mass
+reproduces the long lower tail visible in Table 3 (median 8 GB against a
+64 GB class ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.units import LARGE_MEMORY_THRESHOLD_MB, MB_PER_GB  # noqa: F401 - threshold re-exported
+
+#: Bin edges in GB/node, as printed in Table 2.
+MEMORY_BINS_GB: List[Tuple[float, float]] = [
+    (0.0, 12.0),
+    (12.0, 24.0),
+    (24.0, 48.0),
+    (48.0, 96.0),
+    (96.0, 128.0),
+]
+
+#: Table 2, "Synthetic" columns (ARCHER-shaped): % of jobs per bin.
+ARCHER_ALL = (61.0, 18.6, 11.5, 6.9, 2.0)
+ARCHER_SMALL = (69.5, 19.4, 7.7, 3.0, 0.4)  # "Normal" (<=32-node) jobs
+ARCHER_LARGE = (53.0, 16.9, 14.8, 11.2, 4.2)  # ">32-node" jobs
+
+#: Table 2, "Grizzly" columns.
+GRIZZLY_ALL = (73.3, 12.4, 8.2, 5.7, 0.5)
+GRIZZLY_SMALL = (63.5, 20.2, 8.5, 7.0, 0.8)
+GRIZZLY_LARGE = (77.8, 8.9, 8.0, 5.0, 0.3)
+
+# LARGE_MEMORY_THRESHOLD_MB is re-exported from core.units above:
+# Table 3 splits memory classes at exactly 64 GB per node.
+
+
+@dataclass(frozen=True)
+class MemoryDistribution:
+    """A binned per-node peak-memory distribution."""
+
+    bins_gb: Tuple[Tuple[float, float], ...]
+    percent: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bins_gb) != len(self.percent):
+            raise ValueError("bins and percentages must align")
+        total = sum(self.percent)
+        if not (99.0 <= total <= 101.0):
+            raise ValueError(f"bin percentages sum to {total}, expected ~100")
+
+    def probabilities(self) -> np.ndarray:
+        p = np.asarray(self.percent, dtype=np.float64)
+        return p / p.sum()
+
+    def sample_mb(
+        self, rng: np.random.Generator, size: int, floor_mb: int = 128
+    ) -> np.ndarray:
+        """Draw per-node peak-memory values in MB (log-uniform within bin)."""
+        bins = rng.choice(len(self.bins_gb), size=size, p=self.probabilities())
+        lo = np.array([max(b[0] * MB_PER_GB, floor_mb) for b in self.bins_gb])
+        hi = np.array([b[1] * MB_PER_GB for b in self.bins_gb])
+        u = rng.random(size)
+        vals = np.exp(
+            np.log(lo[bins]) + u * (np.log(hi[bins]) - np.log(lo[bins]))
+        )
+        return np.round(vals).astype(np.int64)
+
+    def binned_percentages(self, values_mb: Sequence[float]) -> np.ndarray:
+        """Histogram of ``values_mb`` over this distribution's bins, in %."""
+        v = np.asarray(values_mb, dtype=np.float64) / MB_PER_GB
+        edges = [b[0] for b in self.bins_gb] + [self.bins_gb[-1][1]]
+        hist, _ = np.histogram(v, bins=edges)
+        if hist.sum() == 0:
+            return np.zeros(len(self.bins_gb))
+        return 100.0 * hist / hist.sum()
+
+
+#: Ready-made distributions keyed by (dataset, job-size class).
+DISTRIBUTIONS: Dict[Tuple[str, str], MemoryDistribution] = {
+    ("archer", "all"): MemoryDistribution(tuple(MEMORY_BINS_GB), ARCHER_ALL),
+    ("archer", "small"): MemoryDistribution(tuple(MEMORY_BINS_GB), ARCHER_SMALL),
+    ("archer", "large"): MemoryDistribution(tuple(MEMORY_BINS_GB), ARCHER_LARGE),
+    ("grizzly", "all"): MemoryDistribution(tuple(MEMORY_BINS_GB), GRIZZLY_ALL),
+    ("grizzly", "small"): MemoryDistribution(tuple(MEMORY_BINS_GB), GRIZZLY_SMALL),
+    ("grizzly", "large"): MemoryDistribution(tuple(MEMORY_BINS_GB), GRIZZLY_LARGE),
+}
+
+
+def sample_peak_memory(
+    rng: np.random.Generator,
+    n_nodes: np.ndarray,
+    dataset: str = "archer",
+    small_job_nodes: int = 32,
+) -> np.ndarray:
+    """Per-node peak memory (MB) for jobs of the given sizes.
+
+    Jobs with ``n_nodes <= small_job_nodes`` draw from the small-job
+    distribution and the rest from the large-job one (Table 2's split).
+    """
+    sizes = np.asarray(n_nodes)
+    out = np.zeros(len(sizes), dtype=np.int64)
+    small = sizes <= small_job_nodes
+    for mask, klass in ((small, "small"), (~small, "large")):
+        count = int(mask.sum())
+        if count:
+            dist = DISTRIBUTIONS[(dataset, klass)]
+            out[mask] = dist.sample_mb(rng, count)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Memory-class conditioned sampling (Table 3): the simulator scenarios
+# control the fraction of *large-memory* jobs directly.
+# ----------------------------------------------------------------------
+#: Table 3, normal-memory jobs: lognormal fitted to (median, Q3) =
+#: (8089, 15341) MB, truncated to [128, 65532] MB.
+NORMAL_MEMORY_FIT = None  # initialised below (needs calibrate)
+
+#: Table 3, large-memory jobs: normal fitted to quartiles
+#: (76176, 86961, 99956) MB, clipped to [65538, 130046] MB.
+LARGE_MEMORY_FIT = None
+
+
+def _init_fits():
+    global NORMAL_MEMORY_FIT, LARGE_MEMORY_FIT
+    from .calibrate import fit_lognormal, fit_normal
+
+    NORMAL_MEMORY_FIT = fit_lognormal(
+        median=8089.0, q3=15341.0, lo=128.0, hi=65532.0
+    )
+    LARGE_MEMORY_FIT = fit_normal(
+        q1=76176.0, median=86961.0, q3=99956.0, lo=65538.0, hi=130046.0
+    )
+
+
+_init_fits()
+
+
+def sample_normal_memory_peak(
+    rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Peaks for normal-memory jobs (Table 3-calibrated lognormal)."""
+    return NORMAL_MEMORY_FIT.sample_int(rng, size)
+
+
+def sample_large_memory_peak(
+    rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Peaks for large-memory jobs (Table 3-calibrated truncated normal)."""
+    return LARGE_MEMORY_FIT.sample_int(rng, size)

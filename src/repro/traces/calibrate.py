@@ -1,0 +1,112 @@
+"""Distribution calibration from published summary statistics.
+
+The paper's datasets arrive as quartile tables (Table 3) and binned
+histograms (Table 2).  This module turns those summaries into samplers:
+quartile-fitted lognormal/normal families plus rejection-free truncation
+helpers.  The ARCHER/Grizzly samplers in :mod:`repro.traces.archer` are
+built on these; they are exposed for calibrating new datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: z-score of the 75th percentile of a standard normal.
+Z_Q3 = 0.6744897501960817
+
+
+def lognormal_from_quartiles(median: float, q3: float) -> Tuple[float, float]:
+    """(mu, sigma) of a lognormal with the given median and Q3.
+
+    ``median = exp(mu)`` and ``q3 = exp(mu + sigma * z_{0.75})``.
+
+    >>> mu, sigma = lognormal_from_quartiles(100.0, 200.0)
+    >>> round(float(np.exp(mu)))
+    100
+    >>> round(float(np.exp(mu + sigma * Z_Q3)))
+    200
+    """
+    if median <= 0 or q3 <= median:
+        raise ValueError(
+            f"need 0 < median < q3, got median={median}, q3={q3}"
+        )
+    mu = float(np.log(median))
+    sigma = float(np.log(q3 / median) / Z_Q3)
+    return mu, sigma
+
+
+def normal_from_quartiles(q1: float, median: float, q3: float) -> Tuple[float, float]:
+    """(mu, sigma) of a normal matching the given quartiles (IQR-based).
+
+    The median is taken as-is; sigma derives from the interquartile
+    range.  Mildly asymmetric quartiles are tolerated (the IQR averages
+    them out) — Table 3's large-memory quartiles are like that.
+    """
+    if not (q1 < median < q3):
+        raise ValueError(f"quartiles must increase: {q1}, {median}, {q3}")
+    sigma = float((q3 - q1) / (2 * Z_Q3))
+    return float(median), sigma
+
+
+@dataclass(frozen=True)
+class QuartileFit:
+    """A calibrated sampler with truncation bounds."""
+
+    family: str  # 'lognormal' | 'normal'
+    mu: float
+    sigma: float
+    lo: float
+    hi: float
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.family == "lognormal":
+            vals = rng.lognormal(self.mu, self.sigma, size)
+            # Fold the upper tail back as log-uniform mass in the top
+            # quarter-decade: avoids a spike exactly at the cap.
+            over = vals > self.hi
+            n_over = int(over.sum())
+            if n_over:
+                vals[over] = np.exp(
+                    rng.uniform(np.log(max(self.hi / 4, self.lo)),
+                                np.log(self.hi), n_over)
+                )
+        elif self.family == "normal":
+            vals = rng.normal(self.mu, self.sigma, size)
+        else:
+            raise ValueError(f"unknown family {self.family!r}")
+        return np.clip(vals, self.lo, self.hi)
+
+    def sample_int(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.round(self.sample(rng, size)).astype(np.int64)
+
+
+def fit_lognormal(
+    median: float, q3: float, lo: float, hi: float
+) -> QuartileFit:
+    mu, sigma = lognormal_from_quartiles(median, q3)
+    return QuartileFit("lognormal", mu, sigma, lo, hi)
+
+
+def fit_normal(
+    q1: float, median: float, q3: float, lo: float, hi: float
+) -> QuartileFit:
+    mu, sigma = normal_from_quartiles(q1, median, q3)
+    return QuartileFit("normal", mu, sigma, lo, hi)
+
+
+def quartile_error(
+    samples: np.ndarray, targets: Tuple[float, float, float]
+) -> float:
+    """Max relative deviation of sample quartiles from the targets.
+
+    The calibration quality metric the validation module and tests use.
+    """
+    got = np.quantile(np.asarray(samples, dtype=np.float64),
+                      [0.25, 0.5, 0.75])
+    want = np.asarray(targets, dtype=np.float64)
+    if (want <= 0).any():
+        raise ValueError("targets must be positive")
+    return float(np.max(np.abs(got - want) / want))

@@ -1,0 +1,49 @@
+"""Euclidean-distance matching of jobs to donor records (paper Fig. 3).
+
+Two matching steps use nearest-neighbour lookup in normalised feature
+space: synthetic job → profiled application (size, runtime — step 3) and
+synthetic job → Google job (size, runtime, memory — step 6).  Features
+are log-transformed (they span orders of magnitude) and z-scored against
+the donor pool before the KD-tree query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..core.errors import TraceError
+
+
+def normalise_features(
+    pool: np.ndarray, queries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Z-score ``pool`` and ``queries`` by the pool's statistics."""
+    pool = np.asarray(pool, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if pool.ndim != 2 or queries.ndim != 2 or pool.shape[1] != queries.shape[1]:
+        raise TraceError(
+            f"feature shapes mismatch: pool {pool.shape}, queries {queries.shape}"
+        )
+    mean = pool.mean(axis=0)
+    std = pool.std(axis=0)
+    std[std == 0] = 1.0
+    return (pool - mean) / std, (queries - mean) / std
+
+
+def match_nearest(pool_features: np.ndarray, query_features: np.ndarray) -> np.ndarray:
+    """Index of the nearest pool row for each query row."""
+    if len(np.asarray(pool_features)) == 0:
+        raise TraceError("cannot match against an empty donor pool")
+    pool_n, queries_n = normalise_features(pool_features, query_features)
+    tree = cKDTree(pool_n)
+    _, idx = tree.query(queries_n, k=1)
+    return np.asarray(idx, dtype=np.int64)
+
+
+def log_features(*columns: Sequence[float]) -> np.ndarray:
+    """Stack columns into a feature matrix, log-transformed (log1p)."""
+    cols = [np.log1p(np.asarray(c, dtype=np.float64)) for c in columns]
+    return np.column_stack(cols)

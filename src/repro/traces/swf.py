@@ -1,0 +1,152 @@
+"""Standard Workload Format (SWF) I/O [2, 10].
+
+The Slurm simulator consumes job traces in SWF: one line per job with 18
+whitespace-separated fields, ``-1`` for unknown values, and ``;`` header
+comments.  We read and write the subset of fields the simulation needs
+(submit time, runtime, nodes, requested time and memory) and round-trip
+the rest faithfully.
+
+Field index reference (0-based after the job id):
+``0`` job id, ``1`` submit, ``2`` wait, ``3`` runtime, ``4`` used procs,
+``5`` avg cpu, ``6`` used memory (KB/proc), ``7`` requested procs,
+``8`` requested time, ``9`` requested memory (KB/proc), ``10`` status,
+``11`` user, ``12`` group, ``13`` app, ``14`` queue, ``15`` partition,
+``16`` preceding job, ``17`` think time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, TextIO, Union
+
+from ..core.errors import TraceError
+
+N_FIELDS = 18
+
+
+@dataclass
+class SWFRecord:
+    """One SWF job line (raw field values, SWF units)."""
+
+    job_id: int
+    submit_time: float
+    wait_time: float = -1
+    run_time: float = -1
+    used_procs: int = -1
+    avg_cpu_time: float = -1
+    used_memory_kb: float = -1
+    req_procs: int = -1
+    req_time: float = -1
+    req_memory_kb: float = -1
+    status: int = -1
+    user: int = -1
+    group: int = -1
+    app: int = -1
+    queue: int = -1
+    partition: int = -1
+    preceding_job: int = -1
+    think_time: float = -1
+
+    def to_line(self) -> str:
+        fields = [
+            self.job_id,
+            self.submit_time,
+            self.wait_time,
+            self.run_time,
+            self.used_procs,
+            self.avg_cpu_time,
+            self.used_memory_kb,
+            self.req_procs,
+            self.req_time,
+            self.req_memory_kb,
+            self.status,
+            self.user,
+            self.group,
+            self.app,
+            self.queue,
+            self.partition,
+            self.preceding_job,
+            self.think_time,
+        ]
+        out = []
+        for v in fields:
+            if isinstance(v, float) and v == int(v):
+                v = int(v)
+            out.append(str(v))
+        return " ".join(out)
+
+    @classmethod
+    def from_line(cls, line: str) -> "SWFRecord":
+        parts = line.split()
+        if len(parts) != N_FIELDS:
+            raise TraceError(
+                f"SWF line has {len(parts)} fields, expected {N_FIELDS}: {line!r}"
+            )
+        nums = [float(p) for p in parts]
+        ints = lambda i: int(nums[i])  # noqa: E731 - terse field accessor
+        return cls(
+            job_id=ints(0),
+            submit_time=nums[1],
+            wait_time=nums[2],
+            run_time=nums[3],
+            used_procs=ints(4),
+            avg_cpu_time=nums[5],
+            used_memory_kb=nums[6],
+            req_procs=ints(7),
+            req_time=nums[8],
+            req_memory_kb=nums[9],
+            status=ints(10),
+            user=ints(11),
+            group=ints(12),
+            app=ints(13),
+            queue=ints(14),
+            partition=ints(15),
+            preceding_job=ints(16),
+            think_time=nums[17],
+        )
+
+
+@dataclass
+class SWFTrace:
+    """A parsed SWF file: header comments plus records."""
+
+    records: List[SWFRecord] = field(default_factory=list)
+    header: Dict[str, str] = field(default_factory=dict)
+
+    def write(self, target: Union[str, Path, TextIO]) -> None:
+        own = isinstance(target, (str, Path))
+        fh = open(target, "w") if own else target
+        try:
+            for key, value in self.header.items():
+                fh.write(f"; {key}: {value}\n")
+            for rec in self.records:
+                fh.write(rec.to_line() + "\n")
+        finally:
+            if own:
+                fh.close()
+
+    @classmethod
+    def read(cls, source: Union[str, Path, TextIO]) -> "SWFTrace":
+        own = isinstance(source, (str, Path))
+        fh = open(source) if own else source
+        trace = cls()
+        try:
+            for raw in fh:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith(";"):
+                    body = line.lstrip("; ").strip()
+                    if ":" in body:
+                        key, _, value = body.partition(":")
+                        trace.header[key.strip()] = value.strip()
+                    continue
+                trace.records.append(SWFRecord.from_line(line))
+        finally:
+            if own:
+                fh.close()
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,243 @@
+"""Workload container and trace characterisation.
+
+A :class:`Workload` bundles the generated jobs with the application
+profiles feeding the slowdown model and the generation metadata.  It also
+computes the characterisations the paper reports: the Table 3 quartiles,
+the Fig. 4 memory/size heatmaps, and SWF export for interoperability with
+the original Slurm simulator tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.units import HOUR, LARGE_MEMORY_THRESHOLD_MB, MB_PER_GB
+from ..jobs.job import Job
+from ..jobs.usage import UsageTrace
+from ..slowdown.profiles import AppProfile
+from .archer import MEMORY_BINS_GB
+from .swf import SWFRecord, SWFTrace
+
+#: Fig. 4 job-size bins (nodes): [1], [2], (2,4], (4,8], ... (64,128].
+SIZE_BIN_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+SIZE_BIN_LABELS = (
+    "[1,1]", "[2,2]", "(2,4]", "(4,8]", "(8,16]", "(16,32]", "(32,64]", "(64,128]",
+)
+
+
+@dataclass
+class Workload:
+    """Jobs plus slowdown profiles plus provenance metadata."""
+
+    jobs: List[Job]
+    profiles: List[AppProfile]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    # ------------------------------------------------------------------
+    def fresh_jobs(self) -> List[Job]:
+        """Clean copies for one simulation run.
+
+        ``simulate`` mutates job state; usage traces are immutable and
+        shared between copies.
+        """
+        return [
+            Job(
+                jid=j.jid,
+                submit_time=j.submit_time,
+                n_nodes=j.n_nodes,
+                base_runtime=j.base_runtime,
+                walltime_limit=j.walltime_limit,
+                mem_request_mb=j.mem_request_mb,
+                usage=j.usage,
+                profile=j.profile,
+                node_scale=j.node_scale,
+                user=j.user,
+            )
+            for j in self.jobs
+        ]
+
+    def with_overestimation(self, factor: float) -> "Workload":
+        """Same workload with requests set to ``peak × (1 + factor)``.
+
+        This is the paper's overestimation sweep (§3.2.1): the actual
+        usage is untouched; only the submission-script request changes.
+        """
+        if factor < 0:
+            raise ValueError(f"negative overestimation {factor}")
+        jobs = self.fresh_jobs()
+        for j in jobs:
+            j.mem_request_mb = int(round(j.usage.peak() * (1.0 + factor)))
+        meta = dict(self.meta)
+        meta["overestimation"] = factor
+        return Workload(jobs=jobs, profiles=self.profiles, meta=meta)
+
+    def with_user_overestimation(
+        self, factors: Dict[int, float], default: float = 0.0
+    ) -> "Workload":
+        """Per-user overestimation: each user's jobs request
+        ``peak × (1 + factors.get(user, default))``.
+
+        The tragedy-of-the-commons experiment (Zacarias et al.,
+        PMBS'21 [46], quoted in this paper's introduction) compares one
+        user overestimating against everyone doing it.
+        """
+        if default < 0 or any(v < 0 for v in factors.values()):
+            raise ValueError("overestimation factors must be non-negative")
+        jobs = self.fresh_jobs()
+        for j in jobs:
+            f = factors.get(j.user, default)
+            j.mem_request_mb = int(round(j.usage.peak() * (1.0 + f)))
+        meta = dict(self.meta)
+        meta["overestimation"] = f"per-user:{sorted(factors.items())}"
+        return Workload(jobs=jobs, profiles=self.profiles, meta=meta)
+
+    def users(self) -> Dict[int, int]:
+        """Job count per user id."""
+        counts: Dict[int, int] = {}
+        for j in self.jobs:
+            counts[j.user] = counts.get(j.user, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Characterisation (Tables 1 & 3, Fig. 4)
+    # ------------------------------------------------------------------
+    def frac_large_memory(self) -> float:
+        if not self.jobs:
+            return 0.0
+        n = sum(
+            1 for j in self.jobs if j.mem_request_mb > LARGE_MEMORY_THRESHOLD_MB
+        )
+        return n / len(self.jobs)
+
+    def memory_class_stats(self) -> Dict[str, Dict[str, Tuple[float, ...]]]:
+        """Table 3: quartiles of peak memory and node-hours per class."""
+        normal = [j for j in self.jobs if j.usage.peak() <= LARGE_MEMORY_THRESHOLD_MB]
+        large = [j for j in self.jobs if j.usage.peak() > LARGE_MEMORY_THRESHOLD_MB]
+
+        def stats(jobs: Sequence[Job]) -> Dict[str, Tuple[float, ...]]:
+            if not jobs:
+                empty = (float("nan"),) * 5
+                return {"memory_mb": empty, "node_hours": empty}
+            mem = np.array([j.usage.peak() for j in jobs], dtype=np.float64)
+            nh = np.array(
+                [j.n_nodes * j.base_runtime / HOUR for j in jobs], dtype=np.float64
+            )
+            qs = (0.0, 0.25, 0.5, 0.75, 1.0)
+            return {
+                "memory_mb": tuple(float(np.quantile(mem, q)) for q in qs),
+                "node_hours": tuple(float(np.quantile(nh, q)) for q in qs),
+            }
+
+        return {"normal": stats(normal), "large": stats(large)}
+
+    def memory_heatmap(self, which: str = "max") -> np.ndarray:
+        """Fig. 4: % of jobs per (memory bin × size bin) cell.
+
+        ``which`` selects the ``max`` (Fig. 4b) or ``avg`` (Fig. 4a)
+        per-node memory usage.  Rows are the Table 2 memory bins (low to
+        high), columns the :data:`SIZE_BIN_LABELS` job-size bins.
+        """
+        if which not in ("max", "avg"):
+            raise ValueError(f"which must be 'max' or 'avg', got {which!r}")
+        mem_edges = [b[0] for b in MEMORY_BINS_GB] + [MEMORY_BINS_GB[-1][1]]
+        grid = np.zeros((len(MEMORY_BINS_GB), len(SIZE_BIN_LABELS)))
+        if not self.jobs:
+            return grid
+        for j in self.jobs:
+            val_mb = (
+                j.usage.peak() if which == "max" else j.usage.mean(j.base_runtime)
+            )
+            val_gb = val_mb / MB_PER_GB
+            row = int(np.searchsorted(mem_edges, val_gb, side="right")) - 1
+            row = min(max(row, 0), len(MEMORY_BINS_GB) - 1)
+            col = int(np.searchsorted(SIZE_BIN_EDGES, j.n_nodes, side="left")) - 1
+            col = min(max(col, 0), len(SIZE_BIN_LABELS) - 1)
+            grid[row, col] += 1
+        return 100.0 * grid / len(self.jobs)
+
+    # ------------------------------------------------------------------
+    # SWF interchange
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_swf(
+        cls,
+        trace: SWFTrace,
+        cores_per_node: int = 32,
+        profiles: Optional[List[AppProfile]] = None,
+    ) -> "Workload":
+        """Import an SWF trace as a workload.
+
+        SWF carries no usage-over-time information, so each job gets a
+        flat usage trace at its recorded *used* memory (or the request
+        when usage is unknown) — the conservative interpretation, under
+        which the dynamic policy can reclaim only the request-minus-peak
+        overestimation gap.  Jobs with unknown geometry are skipped.
+        """
+        from ..slowdown.profiles import match_profile, profile_pool
+
+        pool = profiles if profiles is not None else profile_pool()
+        jobs: List[Job] = []
+        for rec in trace.records:
+            procs = rec.req_procs if rec.req_procs > 0 else rec.used_procs
+            if procs <= 0 or rec.run_time <= 0:
+                continue
+            n_nodes = max(int(round(procs / cores_per_node)), 1)
+            req_kb = rec.req_memory_kb if rec.req_memory_kb > 0 else (
+                rec.used_memory_kb
+            )
+            if req_kb <= 0:
+                continue
+            request_mb = max(int(round(req_kb * cores_per_node / 1024)), 1)
+            used_kb = rec.used_memory_kb if rec.used_memory_kb > 0 else req_kb
+            peak_mb = max(int(round(used_kb * cores_per_node / 1024)), 1)
+            peak_mb = min(peak_mb, request_mb)
+            walltime = rec.req_time if rec.req_time > 0 else rec.run_time
+            jobs.append(
+                Job(
+                    jid=rec.job_id,
+                    submit_time=max(rec.submit_time, 0.0),
+                    n_nodes=n_nodes,
+                    base_runtime=rec.run_time,
+                    walltime_limit=walltime,
+                    mem_request_mb=request_mb,
+                    usage=UsageTrace.constant(peak_mb),
+                    profile=match_profile(pool, n_nodes, rec.run_time),
+                )
+            )
+        jobs.sort(key=lambda j: (j.submit_time, j.jid))
+        return cls(jobs=jobs, profiles=list(pool),
+                   meta={"kind": "swf-import", "records": len(trace)})
+
+    def to_swf(self, cores_per_node: int = 32) -> SWFTrace:
+        """Export to SWF (memory fields in KB per processor, SWF convention)."""
+        trace = SWFTrace()
+        trace.header["Generated-by"] = "repro dynamic-memory-provisioning"
+        for key, value in self.meta.items():
+            trace.header[f"meta-{key}"] = str(value)
+        for j in self.jobs:
+            procs = j.n_nodes * cores_per_node
+            per_proc_kb = j.mem_request_mb * 1024 / cores_per_node
+            used_kb = j.usage.peak() * 1024 / cores_per_node
+            trace.records.append(
+                SWFRecord(
+                    job_id=j.jid,
+                    submit_time=j.submit_time,
+                    wait_time=-1,
+                    run_time=j.base_runtime,
+                    used_procs=procs,
+                    used_memory_kb=used_kb,
+                    req_procs=procs,
+                    req_time=j.walltime_limit,
+                    req_memory_kb=per_proc_kb,
+                    status=1,
+                    user=j.user,
+                    app=j.profile,
+                )
+            )
+        return trace

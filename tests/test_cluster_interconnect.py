@@ -1,0 +1,75 @@
+"""Torus interconnect model."""
+
+import pytest
+
+from repro.cluster.interconnect import Torus, torus_dimensions
+
+
+@pytest.mark.parametrize("n", [1, 8, 27, 64, 100, 1024, 1490])
+def test_dimensions_cover_nodes(n):
+    x, y, z = torus_dimensions(n)
+    assert x * y * z >= n
+    assert x <= y <= z
+
+
+def test_dimensions_cubic_for_cubes():
+    assert torus_dimensions(27) == (3, 3, 3)
+    assert torus_dimensions(64) == (4, 4, 4)
+
+
+def test_dimensions_invalid():
+    with pytest.raises(ValueError):
+        torus_dimensions(0)
+
+
+def test_hop_distance_wraps():
+    t = Torus((4, 4, 4))
+    # Corner to corner is 1+1+1 via wraparound, not 3+3+3.
+    far = t.n_slots - 1
+    assert t.hop_distance(0, far) == 3
+
+
+def test_hop_distance_symmetric_and_zero_diagonal():
+    t = Torus((3, 4, 5))
+    assert t.hop_distance(7, 7) == 0
+    assert t.hop_distance(2, 9) == t.hop_distance(9, 2)
+
+
+def test_coords_roundtrip():
+    t = Torus((3, 4, 5))
+    seen = set()
+    for node in range(t.n_slots):
+        seen.add(t.coords(node))
+    assert len(seen) == t.n_slots
+
+
+def test_coords_out_of_range():
+    t = Torus((2, 2, 2))
+    with pytest.raises(ValueError):
+        t.coords(8)
+
+
+def test_link_count_3d():
+    # 4x4x4 torus: 3 dimensions x 16 rings x 4 links = 192.
+    assert Torus((4, 4, 4)).n_links == 192
+
+
+def test_link_count_degenerate_dims():
+    # A 1x1x4 "torus" is a single ring of 4 links.
+    assert Torus((1, 1, 4)).n_links == 4
+    # Size-2 dimensions have a single link per pair, not two.
+    assert Torus((1, 1, 2)).n_links == 1
+
+
+def test_mean_hop_distance_matches_bruteforce():
+    t = Torus((3, 4, 2))
+    n = t.n_slots
+    total = sum(
+        t.hop_distance(a, b) for a in range(n) for b in range(n)
+    )
+    assert t.mean_hop_distance() == pytest.approx(total / n / n)
+
+
+def test_for_nodes_constructor():
+    t = Torus.for_nodes(1490)
+    assert t.n_slots >= 1490

@@ -1,0 +1,58 @@
+"""Node view over the cluster's columnar ledgers."""
+
+import pytest
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+
+
+@pytest.fixture
+def cluster(small_config):
+    return Cluster(small_config)
+
+
+def test_capacity_by_class(cluster, small_config):
+    assert cluster.node(0).capacity_mb == small_config.large_mem_mb
+    assert cluster.node(0).is_large
+    assert cluster.node(31).capacity_mb == small_config.normal_mem_mb
+    assert not cluster.node(31).is_large
+
+
+def test_idle_node_state(cluster):
+    node = cluster.node(5)
+    assert not node.busy
+    assert node.running_job is None
+    assert node.lent_mb == 0
+    assert node.free_local_mb == node.capacity_mb
+    assert not node.is_memory_node
+
+
+def test_node_reflects_allocation(cluster):
+    alloc = JobAllocation(nodes=[10], local_mb={10: 5000},
+                          remote_mb={10: {0: 3000}})
+    cluster.apply(7, alloc)
+    compute = cluster.node(10)
+    assert compute.busy
+    assert compute.running_job == 7
+    assert compute.local_used_mb == 5000
+    lender = cluster.node(0)
+    assert lender.lent_mb == 3000
+    assert lender.free_local_mb == lender.capacity_mb - 3000
+    assert not lender.busy
+
+
+def test_memory_node_property(cluster, small_config):
+    cap = small_config.normal_mem_mb
+    alloc = JobAllocation(nodes=[0], local_mb={0: 100},
+                          remote_mb={0: {31: cap // 2 + 1}})
+    cluster.apply(1, alloc)
+    assert cluster.node(31).is_memory_node
+    cluster.release(1)
+    assert not cluster.node(31).is_memory_node
+
+
+def test_view_is_live_not_snapshot(cluster):
+    node = cluster.node(3)
+    before = node.free_local_mb
+    cluster.apply(1, JobAllocation(nodes=[3], local_mb={3: 1234}))
+    assert node.free_local_mb == before - 1234

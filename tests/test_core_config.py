@@ -1,0 +1,83 @@
+"""SystemConfig: Table 4 semantics and the memory-level mapping."""
+
+import pytest
+
+from repro.core.config import LARGE_NODE_GB, MEMORY_LEVELS, SystemConfig
+from repro.core.errors import ConfigError
+
+
+def test_defaults_match_table4():
+    cfg = SystemConfig()
+    assert cfg.n_nodes == 1024
+    assert cfg.cores_per_node == 32
+    assert cfg.sched_interval == 30.0
+    assert cfg.queue_depth == 100
+    assert cfg.update_interval == 300.0
+    assert cfg.cost_per_node_usd == 10_154.0
+    assert cfg.cost_per_128gb_usd == 1_280.0
+
+
+@pytest.mark.parametrize("level", sorted(MEMORY_LEVELS))
+def test_memory_levels_round_to_label(level):
+    """Each paper x-axis label matches the config's memory fraction."""
+    cfg = SystemConfig.from_memory_level(level, n_nodes=1000)
+    assert cfg.memory_percent() == level
+
+
+def test_level_50_is_all_normal_64gb():
+    cfg = SystemConfig.from_memory_level(50, n_nodes=100)
+    assert cfg.n_large_nodes == 0
+    assert cfg.normal_mem_gb == 64
+    assert cfg.memory_fraction() == pytest.approx(0.5)
+
+
+def test_level_100_is_all_large():
+    cfg = SystemConfig.from_memory_level(100, n_nodes=100)
+    assert cfg.n_large_nodes == 100
+    assert cfg.total_memory_mb() == 100 * 128 * 1024
+
+
+def test_level_37_uses_32gb_normals():
+    cfg = SystemConfig.from_memory_level(37, n_nodes=1000)
+    assert cfg.normal_mem_gb == 32
+    assert cfg.n_large_nodes == 150
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig.from_memory_level(42)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig(n_nodes=0)
+    with pytest.raises(ConfigError):
+        SystemConfig(frac_large_nodes=1.5)
+    with pytest.raises(ConfigError):
+        SystemConfig(normal_mem_gb=128, large_mem_gb=64)
+    with pytest.raises(ConfigError):
+        SystemConfig(sched_interval=0)
+
+
+def test_node_counts_partition():
+    cfg = SystemConfig(n_nodes=10, frac_large_nodes=0.25)
+    assert cfg.n_large_nodes + cfg.n_normal_nodes == 10
+    assert cfg.n_large_nodes == 2  # rounds 2.5 -> 2 (banker's rounding)
+
+
+def test_cluster_cost_components():
+    cfg = SystemConfig(n_nodes=2, normal_mem_gb=64, frac_large_nodes=0.0)
+    # 2 nodes * 10154 + (128 GB total / 128 GB) * 1280
+    assert cfg.cluster_cost_usd() == pytest.approx(2 * 10154 + 1280)
+
+
+def test_cost_grows_with_memory():
+    lo = SystemConfig.from_memory_level(50, n_nodes=64).cluster_cost_usd()
+    hi = SystemConfig.from_memory_level(100, n_nodes=64).cluster_cost_usd()
+    assert hi > lo
+
+
+def test_with_replaces_fields():
+    cfg = SystemConfig().with_(update_interval=60.0)
+    assert cfg.update_interval == 60.0
+    assert cfg.n_nodes == 1024

@@ -1,0 +1,59 @@
+"""Seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn, stable_seed, weighted_choice
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(7).random(5)
+    b = ensure_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough():
+    g = np.random.default_rng(3)
+    assert ensure_rng(g) is g
+
+
+def test_spawn_streams_differ():
+    children = spawn(ensure_rng(1), 3)
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_deterministic():
+    a = [g.random() for g in spawn(ensure_rng(5), 2)]
+    b = [g.random() for g in spawn(ensure_rng(5), 2)]
+    assert a == b
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn(ensure_rng(0), -1)
+
+
+def test_stable_seed_depends_on_parts():
+    assert stable_seed("a", 1) == stable_seed("a", 1)
+    assert stable_seed("a", 1) != stable_seed("a", 2)
+    assert stable_seed("a", 1) != stable_seed("a", 1, base=9)
+    assert 0 <= stable_seed("x") < 2**63
+
+
+def test_stable_seed_order_sensitive():
+    assert stable_seed("a", "b") != stable_seed("b", "a")
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = ensure_rng(0)
+    picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0]) for _ in range(20)}
+    assert picks == {"a"}
+
+
+def test_weighted_choice_validates():
+    rng = ensure_rng(0)
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.0])

@@ -1,0 +1,31 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_gb_to_mb_integral():
+    assert units.gb_to_mb(1) == 1024
+    assert units.gb_to_mb(64) == 65536
+    assert units.gb_to_mb(128) == 131072
+
+
+def test_gb_to_mb_fractional_rounds():
+    assert units.gb_to_mb(0.5) == 512
+    assert units.gb_to_mb(1.0001) == 1024
+
+
+def test_mb_to_gb_roundtrip():
+    assert units.mb_to_gb(units.gb_to_mb(37)) == pytest.approx(37)
+
+
+def test_time_constants():
+    assert units.HOUR == 60 * units.MINUTE
+    assert units.DAY == 24 * units.HOUR
+    assert units.WEEK == 7 * units.DAY
+
+
+def test_node_hours():
+    assert units.node_hours(4, 3600) == pytest.approx(4.0)
+    assert units.node_hours(1, 1800) == pytest.approx(0.5)

@@ -1,0 +1,31 @@
+"""Doctests for the pure-function modules.
+
+Modules whose docstrings carry runnable examples are checked here, so
+the documentation cannot drift from the behaviour.
+"""
+
+import doctest
+import importlib
+import sys
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.core.units",
+    "repro.traces.calibrate",
+    "repro.traces.rdp",  # note: the package re-exports a same-named function
+    "repro.metrics.response",
+]
+for _name in MODULE_NAMES:
+    importlib.import_module(_name)
+
+MODULES = [sys.modules[name] for name in MODULE_NAMES]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"
+    assert result.failed == 0, (
+        f"{result.failed} doctest failures in {module.__name__}"
+    )

@@ -1,0 +1,82 @@
+"""Resumable campaign driver."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.campaign import (
+    fig5_scenarios,
+    fig8_scenarios,
+    run_campaign,
+    scenario_key,
+)
+from repro.experiments.scenarios import SCALES, Scale, Scenario
+
+TINY = Scale("tiny", n_nodes=48, n_jobs=50, grizzly_nodes=48, grizzly_jobs=50)
+
+
+@pytest.fixture(autouse=True)
+def caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def scenarios():
+    return [
+        Scenario(policy=p, memory_level=100, n_nodes=48, n_jobs=50, seed=1)
+        for p in ("static", "dynamic")
+    ]
+
+
+def test_campaign_writes_jsonl(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    records = run_campaign(scenarios(), path)
+    assert len(records) == 2
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    rec = json.loads(lines[0])
+    assert rec["scenario"]["policy"] == "static"
+    assert rec["summary"]["throughput_jobs_per_s"] > 0
+    assert rec["normalized_throughput"] is not None
+
+
+def test_campaign_resumes_without_recomputing(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios()[:1], path)
+    first = path.read_text()
+    # Second call covers both scenarios; the first is not re-run/rewritten.
+    records = run_campaign(scenarios(), path)
+    assert len(records) == 2
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert path.read_text().startswith(first)
+
+
+def test_campaign_progress_callback(tmp_path):
+    seen = []
+    run_campaign(scenarios(), tmp_path / "c.jsonl",
+                 progress=lambda i, n, sc: seen.append((i, n, sc.policy)))
+    assert seen == [(1, 2, "static"), (2, 2, "dynamic")]
+
+
+def test_scenario_key_stable_and_distinct():
+    a, b = scenarios()
+    assert scenario_key(a) == scenario_key(a)
+    assert scenario_key(a) != scenario_key(b)
+
+
+def test_fig5_scenarios_grid_size():
+    grid = fig5_scenarios(scale=TINY, mixes=(0.0, 0.5),
+                          memory_levels=(50, 100), overestimations=(0.0,))
+    # 2 mixes x 1 ovr x 2 levels x 3 policies
+    assert len(grid) == 12
+    assert all(sc.n_nodes == 48 for sc in grid)
+
+
+def test_fig8_scenarios_grid_size():
+    grid = fig8_scenarios(scale=TINY, overestimations=(0.0, 1.0),
+                          memory_levels=(50,))
+    assert len(grid) == 6
+    assert all(sc.frac_large == 0.5 for sc in grid)

@@ -1,0 +1,83 @@
+"""Tragedy-of-the-commons experiment (paper §1 motivation)."""
+
+import pytest
+
+from repro.experiments.commons import (
+    CommonsOutcome,
+    commons_table,
+    tragedy_of_the_commons,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return tragedy_of_the_commons(n_jobs=250, n_nodes=96, memory_level=50,
+                                  seed=0)
+
+
+def test_four_scenarios(outcomes):
+    assert [o.name for o in outcomes] == [
+        "honest", "lone", "everyone", "everyone+dyn",
+    ]
+    assert outcomes[3].policy == "dynamic"
+
+
+def test_lone_overestimator_pays_modestly(outcomes):
+    """PMBS'21: one user at +60% raises their own response only slightly."""
+    honest, lone = outcomes[0], outcomes[1]
+    ratio = lone.median_response_user / honest.median_response_user
+    assert 0.95 <= ratio <= 1.6
+
+
+def test_everyone_overestimating_is_worse_for_all(outcomes):
+    """The commons effect: collective overestimation hurts much more."""
+    honest, lone, everyone = outcomes[0], outcomes[1], outcomes[2]
+    assert (everyone.median_response_all
+            > lone.median_response_all - 1e-9)
+    assert everyone.median_response_all > honest.median_response_all * 1.2
+    assert everyone.throughput <= honest.throughput + 1e-12
+
+
+def test_dynamic_restores_the_commons(outcomes):
+    """Under dynamic provisioning the overestimation penalty disappears."""
+    honest, everyone, dyn = outcomes[0], outcomes[2], outcomes[3]
+    assert dyn.median_response_all < everyone.median_response_all
+    assert dyn.median_response_all <= honest.median_response_all * 1.1
+    assert dyn.throughput >= everyone.throughput
+
+
+def test_table_normalised_to_honest(outcomes):
+    headers, rows = commons_table(outcomes)
+    assert rows[0][2] == pytest.approx(1.0)
+    assert rows[0][3] == pytest.approx(1.0)
+    assert len(headers) == len(rows[0])
+
+
+def test_users_are_attributed():
+    from repro.traces.pipeline import synthetic_workload
+
+    wl = synthetic_workload(n_jobs=200, n_system_nodes=64, seed=1)
+    counts = wl.users()
+    assert sum(counts.values()) == 200
+    assert len(counts) > 3  # several active users
+
+
+def test_with_user_overestimation_scopes_requests():
+    from repro.traces.pipeline import synthetic_workload
+
+    wl = synthetic_workload(n_jobs=150, n_system_nodes=64, seed=2)
+    focal = next(iter(wl.users()))
+    swept = wl.with_user_overestimation({focal: 1.0})
+    for a, b in zip(wl.jobs, swept.jobs):
+        if a.user == focal:
+            assert b.mem_request_mb == int(round(a.usage.peak() * 2.0))
+        else:
+            assert b.mem_request_mb == a.usage.peak()
+
+
+def test_with_user_overestimation_validates():
+    from repro.traces.pipeline import synthetic_workload
+
+    wl = synthetic_workload(n_jobs=20, n_system_nodes=32, seed=3)
+    with pytest.raises(ValueError):
+        wl.with_user_overestimation({0: -0.5})

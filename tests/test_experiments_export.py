@@ -1,0 +1,72 @@
+"""Tidy-CSV export of figure data."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    figure5_csv,
+    figure6_csv,
+    figure7_csv,
+    figure9_csv,
+    heatmap_csv,
+)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_figure5_csv_tidy():
+    data = {"large=50%": {0.6: {37: {"baseline": None, "static": 0.7,
+                                     "dynamic": 0.9}}}}
+    rows = parse(figure5_csv(data))
+    assert rows[0] == ["panel", "overestimation", "memory_level", "policy",
+                       "normalized_throughput"]
+    assert len(rows) == 4
+    by_policy = {r[3]: r for r in rows[1:]}
+    assert by_policy["baseline"][4] == ""  # missing bar
+    assert float(by_policy["dynamic"][4]) == 0.9
+
+
+def test_figure6_csv_tidy():
+    data = {"match": {0.0: {"static": (np.array([1.0, 2.0]),
+                                       np.array([0.5, 1.0]))}}}
+    rows = parse(figure6_csv(data))
+    assert len(rows) == 3
+    assert rows[1] == ["match", "0.0", "static", "1.0", "0.5"]
+
+
+def test_figure7_csv_tidy():
+    data = {"50%": {0.6: {0.5: {"static": 1e-9, "dynamic": None}}}}
+    rows = parse(figure7_csv(data))
+    assert rows[0][-1] == "throughput_per_dollar"
+    assert rows[1][0] == "50%"
+    assert rows[2][4] == ""
+
+
+def test_figure9_csv_tidy():
+    data = {"static": {1.0: None}, "dynamic": {1.0: 37}}
+    rows = parse(figure9_csv(data))
+    vals = {r[0]: r[2] for r in rows[1:]}
+    assert vals["static"] == ""
+    assert vals["dynamic"] == "37"
+
+
+def test_heatmap_csv_covers_grid():
+    grid = np.arange(40, dtype=float).reshape(5, 8)
+    rows = parse(heatmap_csv(grid, which="avg"))
+    assert len(rows) == 41
+    assert rows[1][0] == "avg"
+    assert float(rows[-1][-1]) == 39.0
+
+
+def test_roundtrip_with_real_producer():
+    from repro.experiments.figures import figure4_memory_heatmap
+
+    data = figure4_memory_heatmap(n_jobs=200, seed=0)
+    rows = parse(heatmap_csv(data["max"]))
+    total = sum(float(r[-1]) for r in rows[1:])
+    assert total == pytest.approx(100.0)

@@ -1,0 +1,130 @@
+"""Figure data producers (reduced scale) and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.figures import (
+    figure2_week_sampling,
+    figure4_memory_heatmap,
+    figure5_throughput,
+    figure6_median_reductions,
+    figure6_response_ecdf,
+    figure7_cost_benefit,
+    figure9_min_memory,
+)
+from repro.experiments.report import (
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure9,
+    render_heatmap,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from repro.experiments.scenarios import Scale
+
+#: A deliberately tiny scale so the whole module runs in seconds.
+TINY = Scale("tiny", n_nodes=48, n_jobs=60, grizzly_nodes=48, grizzly_jobs=60)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def test_figure2_data():
+    data = figure2_week_sampling(n_weeks=6, n_nodes=96, k_selected=2, seed=0)
+    assert len(data["utilization"]) == 6
+    assert data["max_node_hours_norm"].max() == pytest.approx(1.0)
+    assert data["max_memory_norm"].max() == pytest.approx(1.0)
+    assert len(data["selected"]) == 2
+    for idx in data["selected"]:
+        assert data["utilization"][idx] >= 0.70
+
+
+def test_figure4_heatmaps():
+    data = figure4_memory_heatmap(n_jobs=300, seed=0)
+    assert data["avg"].shape == data["max"].shape == (5, 8)
+    assert data["avg"].sum() == pytest.approx(100.0)
+    assert data["max"].sum() == pytest.approx(100.0)
+    out = render_heatmap(data["max"], "Fig 4b")
+    assert "GB/node" in out and "[96,128)" in out
+
+
+def test_figure5_structure_and_render():
+    data = figure5_throughput(
+        scale=TINY, mixes=(0.5,), memory_levels=(50, 100),
+        overestimations=(0.0,), include_grizzly=False,
+    )
+    assert set(data) == {"large=50%"}
+    bars = data["large=50%"][0.0][100]
+    assert set(bars) == {"baseline", "static", "dynamic"}
+    assert bars["baseline"] == pytest.approx(1.0)  # self-normalised
+    out = render_figure5(data)
+    assert "normalised throughput" in out
+
+
+def test_figure6_and_reductions():
+    data = figure6_response_ecdf(
+        scale=TINY, overestimations=(0.6,),
+        regimes={"underprovisioned": (0.75, 50)},
+    )
+    curves = data["underprovisioned"][0.6]
+    for policy in ("static", "dynamic"):
+        x, y = curves[policy]
+        assert len(x) > 0
+        assert (np.diff(y) > 0).all()
+    red = figure6_median_reductions(data)
+    assert "underprovisioned" in red
+    out = render_figure6(red)
+    assert "median_resp_reduction" in out
+
+
+def test_figure7_and_render():
+    data = figure7_cost_benefit(
+        scale=TINY, systems={"100%": 100}, mixes=(0.0, 1.0),
+        overestimations=(0.0,),
+    )
+    bars = data["100%"][0.0][0.0]
+    assert bars["static"] is not None and bars["static"] > 0
+    # Cost-per-throughput magnitude sanity (small systems are costlier
+    # per job than the paper's 1024 nodes but within a few orders).
+    assert 1e-11 < bars["static"] < 1e-4
+    out = render_figure7(data)
+    assert "throughput per dollar" in out
+
+
+def test_figure9_and_render():
+    data = figure9_min_memory(
+        scale=TINY, overestimations=(0.0,), memory_levels=(50, 75, 100),
+    )
+    assert set(data) == {"static", "dynamic"}
+    for policy in data:
+        level = data[policy][0.0]
+        assert level in (50, 75, 100, None)
+    out = render_figure9(data)
+    assert "Fig. 9" in out
+
+
+def test_render_table_formats_none_and_floats():
+    out = render_table(["a", "b"], [[None, 0.123456], [3, 1e-9]])
+    assert "-" in out
+    assert "0.123" in out
+    assert "1.00e-09" in out
+
+
+def test_render_table2_table3_smoke():
+    from repro.experiments.tables import (
+        table2_memory_distribution,
+        table3_job_characteristics,
+    )
+
+    t2 = table2_memory_distribution(n_samples=2000, grizzly_weeks=1,
+                                    grizzly_nodes=64, seed=0)
+    assert "Table 2" in render_table2(t2)
+    t3 = table3_job_characteristics(n_jobs=300, seed=0)
+    assert "Table 3" in render_table3(t3)

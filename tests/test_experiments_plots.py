@@ -1,0 +1,82 @@
+"""ASCII plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_bars, ascii_ecdf, ascii_scatter
+from repro.metrics.response import ecdf
+
+
+def test_bars_render_values_and_missing():
+    out = ascii_bars(
+        [37, 100],
+        {"static": [0.5, None], "dynamic": [1.0, 0.9]},
+        width=20,
+        title="demo",
+    )
+    assert "demo" in out
+    assert "(missing)" in out
+    assert "o" * 10 in out  # 0.5 of width 20 for the first series
+    assert "x" * 20 in out  # full-scale bar for the second series
+    assert "o=static" in out and "x=dynamic" in out
+
+
+def test_bars_scale_with_vmax():
+    out = ascii_bars(["a"], {"s": [0.5]}, width=10, vmax=0.5)
+    assert "o" * 10 in out
+
+
+def test_bars_empty_series_rejected():
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], {})
+
+
+def test_ecdf_plot_monotone_columns():
+    rng = np.random.default_rng(0)
+    curves = {
+        "static": ecdf(rng.exponential(1000, 200)),
+        "dynamic": ecdf(rng.exponential(300, 200)),
+    }
+    out = ascii_ecdf(curves, width=40, height=10, title="resp")
+    assert "resp" in out
+    assert "(log x)" in out
+    assert "o=static" in out
+    # The faster distribution's glyph must appear left of the slower's
+    # at the top probability row.
+    lines = out.splitlines()
+    top = next(l for l in lines if l.startswith("1.00"))
+    assert "x" in top or "o" in top
+
+
+def test_ecdf_linear_axis():
+    curves = {"a": ecdf(np.array([1.0, 2.0, 3.0]))}
+    out = ascii_ecdf(curves, log_x=False)
+    assert "(log x)" not in out
+
+
+def test_ecdf_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_ecdf({})
+
+
+def test_scatter_highlights():
+    x = np.linspace(0, 1, 30)
+    y = x**2
+    hl = x > 0.7
+    out = ascii_scatter(x, y, highlight=hl, width=30, height=10,
+                        title="weeks", xlabel="util")
+    assert "weeks" in out
+    assert "A" in out and "." in out
+    assert "util" in out
+
+
+def test_scatter_validates():
+    with pytest.raises(ValueError):
+        ascii_scatter([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ascii_scatter([], [])
+
+
+def test_scatter_degenerate_ranges():
+    out = ascii_scatter([1.0, 1.0], [2.0, 2.0])
+    assert "." in out

@@ -1,0 +1,76 @@
+"""Runner caching and normalisation."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.scenarios import Scenario
+
+SMALL = dict(n_nodes=48, n_jobs=60, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def test_base_workload_cached():
+    sc = Scenario(**SMALL)
+    a = runner.base_workload(sc)
+    b = runner.base_workload(sc.with_(policy="dynamic", overestimation=0.6))
+    assert a is b  # same base trace across the sweep
+
+
+def test_run_cached_per_policy_and_level():
+    sc = Scenario(policy="static", memory_level=75, **SMALL)
+    a = runner.run(sc)
+    assert runner.run(sc) is a
+    b = runner.run(sc.with_(policy="dynamic"))
+    assert b is not a
+
+
+def test_reference_is_baseline_100():
+    sc = Scenario(policy="dynamic", memory_level=50, overestimation=0.6, **SMALL)
+    ref = runner.reference(sc)
+    assert ref.policy == "baseline"
+    assert ref.meta["scenario"].memory_level == 100
+    assert ref.meta["scenario"].overestimation == 0.0
+
+
+def test_normalized_reasonable_range():
+    sc = Scenario(policy="dynamic", memory_level=100, **SMALL)
+    val = runner.normalized(sc)
+    assert val is not None
+    assert 0.5 < val < 1.5
+
+
+def test_normalized_mean_single_repeat_matches_normalized():
+    sc = Scenario(policy="dynamic", memory_level=100, **SMALL)
+    assert runner.normalized_mean(sc, repeats=1) == runner.normalized(sc)
+
+
+def test_normalized_mean_averages_seeds():
+    sc = Scenario(policy="dynamic", memory_level=100, **SMALL)
+    mean = runner.normalized_mean(sc, repeats=2)
+    a = runner.normalized(sc)
+    b = runner.normalized(sc.with_(seed=sc.seed + 1000))
+    assert mean == pytest.approx((a + b) / 2)
+
+
+def test_normalized_mean_validates():
+    sc = Scenario(**SMALL)
+    with pytest.raises(ValueError):
+        runner.normalized_mean(sc, repeats=0)
+
+
+def test_overestimated_run_uses_scaled_requests():
+    sc = Scenario(policy="static", memory_level=100, overestimation=1.0, **SMALL)
+    res = runner.run(sc)
+    wl = runner.base_workload(sc)
+    scen_jobs = {r.jid: r for r in res.records}
+    for job in wl.jobs[:10]:
+        if job.jid in scen_jobs:
+            assert scen_jobs[job.jid].mem_request_mb == int(
+                round(job.usage.peak() * 2.0)
+            )

@@ -1,0 +1,76 @@
+"""Scenario grid definitions."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.scenarios import (
+    FIG5_JOB_MIXES,
+    FIG5_MEMORY_LEVELS,
+    FIG7_SYSTEMS,
+    FIG8_OVERESTIMATIONS,
+    SCALES,
+    Scenario,
+    scenario_for_scale,
+)
+
+
+def test_paper_grids():
+    assert FIG5_MEMORY_LEVELS == (37, 43, 50, 57, 62, 75, 87, 100)
+    assert FIG5_JOB_MIXES == (0.0, 0.15, 0.25, 0.50, 0.75, 1.00)
+    assert 0.6 in FIG8_OVERESTIMATIONS
+    assert FIG7_SYSTEMS["25%"] == 25
+
+
+def test_scales_full_matches_paper():
+    full = SCALES["full"]
+    assert full.n_nodes == 1024
+    assert full.grizzly_nodes == 1490
+    assert full.max_job_nodes == 128
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigError):
+        Scenario(trace="lanl")
+    with pytest.raises(ConfigError):
+        Scenario(policy="greedy")
+    with pytest.raises(ConfigError):
+        Scenario(memory_level=42)
+    with pytest.raises(ConfigError):
+        Scenario(frac_large=-0.1)
+    with pytest.raises(ConfigError):
+        Scenario(overestimation=-1.0)
+
+
+def test_system_config_derived():
+    sc = Scenario(memory_level=75, n_nodes=64)
+    cfg = sc.system_config()
+    assert cfg.n_nodes == 64
+    assert cfg.memory_percent() == 75
+
+
+def test_workload_key_excludes_overestimation_and_policy():
+    a = Scenario(overestimation=0.0, policy="static")
+    b = Scenario(overestimation=0.6, policy="dynamic")
+    assert a.workload_key() == b.workload_key()
+    c = Scenario(seed=1)
+    assert a.workload_key() != c.workload_key()
+
+
+def test_workload_key_excludes_memory_level():
+    a = Scenario(memory_level=50)
+    b = Scenario(memory_level=100)
+    assert a.workload_key() == b.workload_key()
+
+
+def test_effective_max_job_nodes():
+    assert Scenario(n_nodes=1024).effective_max_job_nodes() == 128
+    assert Scenario(n_nodes=1024, max_job_nodes=16).effective_max_job_nodes() == 16
+
+
+def test_scenario_for_scale():
+    small = SCALES["small"]
+    syn = scenario_for_scale(small)
+    assert syn.n_nodes == small.n_nodes
+    gri = scenario_for_scale(small, trace="grizzly")
+    assert gri.n_nodes == small.grizzly_nodes
+    assert gri.trace == "grizzly"

@@ -1,0 +1,71 @@
+"""Generic scenario sweeps."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.scenarios import Scenario
+from repro.experiments.sweep import SWEEPABLE, sweep, sweep_table
+
+BASE = Scenario(n_nodes=48, n_jobs=60, seed=5)
+
+
+@pytest.fixture(autouse=True)
+def caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def test_cartesian_product_size():
+    recs = sweep(BASE, policy=["static", "dynamic"], memory_level=[50, 100])
+    assert len(recs) == 4
+    combos = {(r["policy"], r["memory_level"]) for r in recs}
+    assert combos == {("static", 50), ("static", 100),
+                      ("dynamic", 50), ("dynamic", 100)}
+
+
+def test_records_carry_metrics():
+    recs = sweep(BASE, policy=["dynamic"])
+    rec = recs[0]
+    assert rec["throughput_jobs_per_s"] > 0
+    assert "normalized_throughput" in rec
+    assert rec["oom_kills"] >= 0
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError):
+        sweep(BASE, colour=["red"])
+
+
+def test_order_controls_column_order():
+    recs = sweep(BASE, order=["memory_level", "policy"],
+                 policy=["static"], memory_level=[100])
+    headers, _ = sweep_table(recs)
+    assert headers[:2] == ["memory_level", "policy"]
+
+
+def test_order_must_match_axes():
+    with pytest.raises(ValueError):
+        sweep(BASE, order=["policy"], policy=["static"], memory_level=[100])
+
+
+def test_sweepable_covers_scenario_fields():
+    assert "policy" in SWEEPABLE
+    assert "memory_level" in SWEEPABLE
+    assert "overestimation" in SWEEPABLE
+
+
+def test_sweep_table_empty():
+    headers, rows = sweep_table([])
+    assert headers == () and rows == []
+
+
+def test_cli_sweep(capsys):
+    from repro.cli import main
+
+    rc = main(["sweep", "--policy", "dynamic", "--memory-level", "100",
+               "--nodes", "48", "--jobs", "50"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Scenario sweep" in out
+    assert "dynamic" in out

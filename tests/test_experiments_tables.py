@@ -1,0 +1,79 @@
+"""Table producers and paper-value comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    table1_trace_summary,
+    table2_memory_distribution,
+    table3_job_characteristics,
+)
+
+
+def test_table1_matrix_matches_paper():
+    rows = {r["trace"]: r for r in table1_trace_summary()}
+    assert rows["Grizzly"]["submission_times"] == "no"
+    assert rows["Grizzly"]["memory_trace"] == "yes"
+    assert rows["CIRNE"]["memory_trace"] == "no"
+    assert rows["Google"]["domain"] == "Cloud"
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_memory_distribution(n_samples=30000, grizzly_weeks=1,
+                                      grizzly_nodes=128, seed=1)
+
+
+def test_table2_synthetic_matches_paper(table2):
+    """Measured synthetic columns track the published ones closely."""
+    for klass in ("all", "small", "large"):
+        measured = table2["synthetic"][klass]
+        paper = PAPER_TABLE2[("synthetic", klass)]
+        for got, want in zip(measured, paper):
+            assert got == pytest.approx(want, abs=1.5)
+
+
+def test_table2_grizzly_shape(table2):
+    """Generated Grizzly data lands in the right ballpark per bin."""
+    measured = table2["grizzly"]["all"]
+    paper = PAPER_TABLE2[("grizzly", "all")]
+    assert measured[0] > 50  # dominated by <12 GB jobs
+    # Rank correlation with the paper's bins.
+    assert np.argsort(measured)[-1] == np.argsort(np.array(paper))[-1]
+    for got in measured:
+        assert 0 <= got <= 100
+
+
+def test_table2_percentages_sum(table2):
+    for dataset in ("synthetic", "grizzly"):
+        for klass in ("all", "small", "large"):
+            assert table2[dataset][klass].sum() == pytest.approx(100.0, abs=0.5)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return table3_job_characteristics(n_jobs=3000, frac_large=0.5, seed=2)
+
+
+def test_table3_normal_quartiles_track_paper(table3):
+    got = table3["normal"]["memory_mb"]
+    want = PAPER_TABLE3["normal"]["memory_mb"]
+    # Median and Q3 within 25% of the published values.
+    assert got[2] == pytest.approx(want[2], rel=0.25)
+    assert got[3] == pytest.approx(want[3], rel=0.3)
+    assert got[4] <= want[4] + 1
+
+
+def test_table3_large_quartiles_track_paper(table3):
+    got = table3["large"]["memory_mb"]
+    want = PAPER_TABLE3["large"]["memory_mb"]
+    assert got[0] >= want[0] - 1
+    assert got[2] == pytest.approx(want[2], rel=0.1)
+    assert got[4] <= want[4] + 1
+
+
+def test_table3_accepts_existing_workload(shared_workload):
+    stats = table3_job_characteristics(workload=shared_workload)
+    assert stats == shared_workload.memory_class_stats()

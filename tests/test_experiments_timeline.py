@@ -1,0 +1,87 @@
+"""ASCII schedule timelines."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.timeline import gantt, occupancy_strip, render_run
+from repro.metrics.utilization import UtilizationTimeline
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+
+from conftest import make_job
+
+
+@pytest.fixture
+def result(tiny_config):
+    jobs = [make_job(jid=i, submit=float(i * 50), n_nodes=2, runtime=400.0)
+            for i in range(6)]
+    return simulate(jobs, tiny_config, policy="static",
+                    model=NullContentionModel(), sample_interval=60.0)
+
+
+def test_occupancy_strip_renders(result):
+    timeline = result.meta["timeline"]
+    out = occupancy_strip(timeline, width=40, title="occ")
+    lines = out.splitlines()
+    assert lines[0] == "occ"
+    assert lines[1].startswith("cpu |") and lines[1].endswith("|")
+    assert lines[2].startswith("mem |")
+    # Two jobs of four nodes busy -> mid-range glyphs appear.
+    assert any(ch not in " |" for ch in lines[1])
+
+
+def test_occupancy_strip_empty_rejected():
+    with pytest.raises(ValueError):
+        occupancy_strip(UtilizationTimeline())
+
+
+def test_gantt_shows_running_and_queued(result):
+    out = gantt(result.records, width=50)
+    assert "#" in out
+    assert ". queued" in out
+    # Six job rows plus axis/legend.
+    rows = [l for l in out.splitlines() if l.endswith("|")]
+    assert len(rows) == 6
+
+
+def test_gantt_queued_before_running(tiny_config):
+    # Force queueing: all jobs need the whole machine.
+    jobs = [make_job(jid=i, submit=0.0, n_nodes=4, runtime=300.0)
+            for i in range(3)]
+    res = simulate(jobs, tiny_config, policy="static",
+                   model=NullContentionModel())
+    out = gantt(res.records, width=60)
+    rows = [l for l in out.splitlines() if l.endswith("|")]
+    assert any("." in r for r in rows[1:])  # later jobs waited
+
+
+def test_gantt_marks_restarts(result):
+    rec = result.records[0]
+    object.__setattr__(rec, "restarts", 2)
+    out = gantt(result.records)
+    assert "x2" in out
+
+
+def test_gantt_empty_rejected():
+    with pytest.raises(ValueError):
+        gantt([])
+
+
+def test_gantt_caps_rows(result):
+    out = gantt(result.records, max_jobs=2)
+    rows = [l for l in out.splitlines() if l.endswith("|")]
+    assert len(rows) == 2
+
+
+def test_render_run_combined(result):
+    out = render_run(result, width=40)
+    assert "cluster occupancy" in out
+    assert "first 25 jobs" in out
+
+
+def test_render_run_without_timeline(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="static",
+                   model=NullContentionModel())
+    out = render_run(res)
+    assert "cluster occupancy" not in out
+    assert "#" in out

@@ -1,0 +1,69 @@
+"""Workload validation."""
+
+import pytest
+
+from repro.experiments.validate import ValidationReport, validate_workload
+from repro.traces.pipeline import synthetic_workload
+from repro.traces.workload import Workload
+
+
+def test_generated_workload_validates(shared_workload):
+    report = validate_workload(shared_workload)
+    assert report.passed, report.render()
+
+
+def test_overestimated_workload_validates(shared_workload):
+    swept = shared_workload.with_overestimation(0.6)
+    report = validate_workload(swept)
+    assert report.passed, report.render()
+
+
+def test_report_render_contains_checks(shared_workload):
+    report = validate_workload(shared_workload)
+    text = report.render()
+    assert "arrivals sorted" in text
+    assert "table3 normal-memory quartiles" in text
+    assert "all checks passed" in text
+
+
+def test_empty_workload_fails():
+    report = validate_workload(Workload(jobs=[], profiles=[]))
+    assert not report.passed
+    assert report.failures()[0].name == "non-empty"
+
+
+def test_corrupted_requests_detected(shared_workload):
+    wl = Workload(jobs=shared_workload.fresh_jobs(),
+                  profiles=shared_workload.profiles,
+                  meta=dict(shared_workload.meta))
+    for j in wl.jobs[:20]:
+        j.mem_request_mb = j.mem_request_mb * 3 + 17
+    report = validate_workload(wl)
+    assert not report.passed
+    names = {c.name for c in report.failures()}
+    assert "request = peak x (1+overestimation)" in names
+
+
+def test_unsorted_arrivals_detected(shared_workload):
+    wl = Workload(jobs=shared_workload.fresh_jobs(),
+                  profiles=shared_workload.profiles,
+                  meta=dict(shared_workload.meta))
+    wl.jobs[0], wl.jobs[-1] = wl.jobs[-1], wl.jobs[0]
+    report = validate_workload(wl)
+    failed = {c.name for c in report.failures()}
+    assert "arrivals sorted" in failed
+
+
+def test_small_class_skipped():
+    wl = synthetic_workload(n_jobs=40, frac_large=0.0, n_system_nodes=32,
+                            seed=1)
+    report = validate_workload(wl)
+    large_check = next(
+        c for c in report.checks if c.name == "table3 large-memory quartiles"
+    )
+    assert large_check.passed and "skipped" in large_check.detail
+
+
+def test_quartile_tolerance_controls_strictness(shared_workload):
+    strict = validate_workload(shared_workload, quartile_tolerance=0.0001)
+    assert not strict.passed

@@ -1,0 +1,67 @@
+"""Determinism and seed-sensitivity guarantees (DESIGN.md §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.scheduler.simulator import simulate
+from repro.traces.pipeline import grizzly_workload, synthetic_workload
+
+
+def _signature(result):
+    return (
+        result.n_completed,
+        result.oom_kills,
+        round(result.throughput(), 12),
+        tuple(round(r.finish_time, 6) for r in result.records[:20]),
+    )
+
+
+@pytest.mark.parametrize("policy", ["baseline", "static", "dynamic"])
+def test_same_seed_same_results(policy):
+    cfg = SystemConfig.from_memory_level(62, n_nodes=64)
+    sigs = []
+    for _ in range(2):
+        wl = synthetic_workload(n_jobs=120, frac_large=0.5,
+                                overestimation=0.6, n_system_nodes=64,
+                                seed=13)
+        res = simulate(wl.fresh_jobs(), cfg, policy=policy,
+                       profiles=wl.profiles)
+        sigs.append(_signature(res))
+    assert sigs[0] == sigs[1]
+
+
+def test_different_seeds_differ():
+    a = synthetic_workload(n_jobs=100, n_system_nodes=64, seed=1)
+    b = synthetic_workload(n_jobs=100, n_system_nodes=64, seed=2)
+    assert [j.submit_time for j in a.jobs] != [j.submit_time for j in b.jobs]
+
+
+def test_grizzly_same_seed_same_trace():
+    a = grizzly_workload(n_system_nodes=64, scale_jobs=80, seed=9)
+    b = grizzly_workload(n_system_nodes=64, scale_jobs=80, seed=9)
+    for x, y in zip(a.jobs, b.jobs):
+        assert x.submit_time == y.submit_time
+        assert np.array_equal(x.usage.mem_mb, y.usage.mem_mb)
+
+
+def test_policy_does_not_mutate_shared_traces():
+    """Runs must not corrupt the shared (immutable) usage traces."""
+    wl = synthetic_workload(n_jobs=80, frac_large=0.5, overestimation=0.6,
+                            n_system_nodes=64, seed=3)
+    before = [j.usage.mem_mb.copy() for j in wl.jobs]
+    cfg = SystemConfig.from_memory_level(50, n_nodes=64)
+    simulate(wl.fresh_jobs(), cfg, policy="dynamic", profiles=wl.profiles)
+    for job, mem in zip(wl.jobs, before):
+        assert np.array_equal(job.usage.mem_mb, mem)
+
+
+def test_rerunning_same_jobs_object_rejected_or_safe():
+    """A second simulate() on already-run Job objects must fail loudly
+    (state machine) rather than silently corrupt results."""
+    wl = synthetic_workload(n_jobs=30, n_system_nodes=64, seed=4)
+    cfg = SystemConfig.from_memory_level(100, n_nodes=64)
+    jobs = wl.fresh_jobs()
+    simulate(jobs, cfg, policy="static", profiles=wl.profiles)
+    with pytest.raises(Exception):
+        simulate(jobs, cfg, policy="static", profiles=wl.profiles)

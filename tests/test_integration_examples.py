@@ -1,0 +1,85 @@
+"""The shipped examples must run cleanly (they are documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Policy comparison" in out
+    assert "dynamic" in out
+
+
+@pytest.mark.slow
+def test_trace_pipeline(tmp_path):
+    swf = tmp_path / "trace.swf"
+    out = run_example("trace_pipeline.py", "--jobs", "300", "--out", str(swf))
+    assert "Table 3" in out
+    assert "Fig. 4b" in out
+    assert swf.exists() and swf.stat().st_size > 0
+
+
+@pytest.mark.slow
+def test_policy_ablations():
+    out = run_example("policy_ablations.py")
+    assert "paper default" in out
+    assert "static (reference)" in out
+
+
+@pytest.mark.slow
+def test_overestimation_study():
+    out = run_example(
+        "overestimation_study.py", "--scale", "small", "--levels", "50", "100"
+    )
+    assert "normalised throughput" in out
+
+
+@pytest.mark.slow
+def test_capacity_planning():
+    out = run_example("capacity_planning.py", "--scale", "small")
+    assert "Fig. 9" in out
+    assert "throughput per dollar" in out
+
+
+@pytest.mark.slow
+def test_tragedy_of_the_commons():
+    out = run_example("tragedy_of_the_commons.py", "--jobs", "150",
+                      "--nodes", "64")
+    assert "Tragedy of the commons" in out
+    assert "the tragedy is gone" in out
+
+
+@pytest.mark.slow
+def test_schedule_analysis():
+    out = run_example("schedule_analysis.py", "--jobs", "150",
+                      "--nodes", "64")
+    assert "Policy comparison" in out
+    assert "Response time by memory class" in out
+    assert "Life of the most-delayed job" in out
+
+
+@pytest.mark.slow
+def test_grizzly_week_study():
+    out = run_example(
+        "grizzly_week_study.py", "--weeks", "6", "--simulate-weeks", "2",
+        "--jobs-per-week", "150",
+    )
+    assert "Sampled weeks" in out
+    assert "Mean dynamic-over-static gains" in out

@@ -1,0 +1,148 @@
+"""End-to-end reproduction checks of the paper's qualitative claims.
+
+These run reduced-scale simulations (fast, seeded) and assert the
+*shapes* the paper reports — who wins, where, and in roughly what
+direction — not the absolute numbers, which depend on the (synthetic)
+substrate.  EXPERIMENTS.md records the measured magnitudes.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments import runner
+from repro.experiments.scenarios import Scenario
+from repro.metrics.response import median_reduction
+from repro.scheduler.simulator import simulate
+from repro.traces.pipeline import synthetic_workload
+
+SMALL = dict(n_nodes=96, n_jobs=250, seed=0)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def caches():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def norm(policy, level, *, mix=0.5, ovr=0.0):
+    return runner.normalized(
+        Scenario(policy=policy, memory_level=level, frac_large=mix,
+                 overestimation=ovr, **SMALL)
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.1 / Fig. 5
+# ----------------------------------------------------------------------
+def test_policies_equivalent_when_overprovisioned():
+    """Top-left of Fig. 5: ample memory -> all policies comparable."""
+    vals = [norm(p, 100, mix=0.0) for p in ("baseline", "static", "dynamic")]
+    assert all(v is not None for v in vals)
+    assert max(vals) - min(vals) < 0.05
+
+
+def test_disaggregation_beats_baseline_underprovisioned():
+    """Fig. 5: the baseline collapses first as memory shrinks."""
+    base = norm("baseline", 62, mix=0.5)
+    static = norm("static", 62, mix=0.5)
+    assert base is not None and static is not None
+    assert static > base * 1.1
+
+
+def test_dynamic_beats_static_with_overestimation():
+    """Fig. 5 bottom row: +60% overestimation, underprovisioned."""
+    static = norm("static", 37, mix=0.5, ovr=0.6)
+    dynamic = norm("dynamic", 37, mix=0.5, ovr=0.6)
+    assert static is not None and dynamic is not None
+    assert dynamic > static * 1.05  # paper: up to 13% at 50% memory
+
+
+def test_baseline_cannot_run_overestimated_large_jobs():
+    """Fig. 5 bottom row: baseline bars are missing."""
+    val = norm("baseline", 100, mix=0.5, ovr=0.6)
+    assert val is None  # requests above 128 GB exist
+
+
+def test_dynamic_matches_baseline_with_less_memory():
+    """§1: dynamic achieves ~baseline throughput with ~40% less memory."""
+    ref_level_value = norm("dynamic", 100, mix=0.5)
+    low_value = norm("dynamic", 62, mix=0.5)
+    assert low_value is not None and ref_level_value is not None
+    assert low_value >= 0.95 * ref_level_value
+
+
+# ----------------------------------------------------------------------
+# §4.2 / Fig. 6
+# ----------------------------------------------------------------------
+def test_response_time_reduction_underprovisioned():
+    """Dynamic cuts the median response time on stressed systems."""
+    static = runner.run(
+        Scenario(policy="static", memory_level=50, frac_large=0.75,
+                 overestimation=0.6, **SMALL)
+    )
+    dynamic = runner.run(
+        Scenario(policy="dynamic", memory_level=50, frac_large=0.75,
+                 overestimation=0.6, **SMALL)
+    )
+    red = median_reduction(static.response_times(), dynamic.response_times())
+    assert red > 0.2  # paper: up to 69%
+
+
+def test_response_time_similar_when_overprovisioned():
+    static = runner.run(
+        Scenario(policy="static", memory_level=87, frac_large=0.25, **SMALL)
+    )
+    dynamic = runner.run(
+        Scenario(policy="dynamic", memory_level=87, frac_large=0.25, **SMALL)
+    )
+    red = median_reduction(static.response_times(), dynamic.response_times())
+    assert abs(red) < 0.15  # paper: max quantile difference ~5%
+
+
+# ----------------------------------------------------------------------
+# §4.4 / Fig. 8
+# ----------------------------------------------------------------------
+def test_static_degrades_with_overestimation_dynamic_does_not():
+    static_0 = norm("static", 50, mix=0.5, ovr=0.0)
+    static_100 = norm("static", 50, mix=0.5, ovr=1.0)
+    dynamic_0 = norm("dynamic", 50, mix=0.5, ovr=0.0)
+    dynamic_100 = norm("dynamic", 50, mix=0.5, ovr=1.0)
+    # Static loses noticeably; dynamic stays within a few percent.
+    assert static_100 < static_0 - 0.03
+    assert dynamic_100 > dynamic_0 - 0.05
+    assert dynamic_100 > 0.8  # paper: dynamic holds >80% at +100%
+
+
+# ----------------------------------------------------------------------
+# §2.2: OOM kills are rare
+# ----------------------------------------------------------------------
+def test_oom_kills_are_rare_in_extreme_scenario():
+    """Paper: <1% of jobs fail for memory even at 100% large jobs,
+    50% system, +100% overestimation."""
+    res = runner.run(
+        Scenario(policy="dynamic", memory_level=50, frac_large=1.0,
+                 overestimation=1.0, **SMALL)
+    )
+    assert res.oom_kill_fraction() <= 0.02
+
+
+# ----------------------------------------------------------------------
+# Memory reclaim mechanics
+# ----------------------------------------------------------------------
+def test_dynamic_reclaims_memory():
+    """Dynamic's time-averaged allocated memory tracks usage, not requests."""
+    wl = synthetic_workload(n_jobs=150, frac_large=0.5, overestimation=0.6,
+                            n_system_nodes=64, seed=5)
+    cfg = SystemConfig.from_memory_level(75, n_nodes=64)
+    static = simulate(wl.fresh_jobs(), cfg, policy="static")
+    dynamic = simulate(wl.fresh_jobs(), cfg, policy="dynamic")
+    assert dynamic.memory_utilization() < 0.7 * static.memory_utilization()
+
+
+def test_grizzly_trace_pipeline_end_to_end():
+    """The Grizzly column of Fig. 5 runs end to end."""
+    sc = Scenario(trace="grizzly", policy="dynamic", memory_level=75,
+                  n_nodes=96, n_jobs=150, seed=2)
+    val = runner.normalized(sc)
+    assert val is not None and val > 0.3

@@ -1,0 +1,37 @@
+"""Job state machine."""
+
+import pytest
+
+from repro.jobs.states import TRANSITIONS, JobState, check_transition
+
+
+def test_legal_lifecycle():
+    check_transition(JobState.PENDING, JobState.RUNNING)
+    check_transition(JobState.RUNNING, JobState.COMPLETED)
+    check_transition(JobState.RUNNING, JobState.KILLED)
+    check_transition(JobState.KILLED, JobState.PENDING)
+    check_transition(JobState.PENDING, JobState.UNRUNNABLE)
+
+
+@pytest.mark.parametrize(
+    "old,new",
+    [
+        (JobState.PENDING, JobState.COMPLETED),  # must run first
+        (JobState.COMPLETED, JobState.RUNNING),  # terminal
+        (JobState.UNRUNNABLE, JobState.PENDING),  # terminal
+        (JobState.KILLED, JobState.RUNNING),  # must requeue first
+        (JobState.RUNNING, JobState.PENDING),
+    ],
+)
+def test_illegal_transitions_raise(old, new):
+    with pytest.raises(ValueError):
+        check_transition(old, new)
+
+
+def test_terminal_states_have_no_exits():
+    assert TRANSITIONS[JobState.COMPLETED] == set()
+    assert TRANSITIONS[JobState.UNRUNNABLE] == set()
+
+
+def test_every_state_mapped():
+    assert set(TRANSITIONS) == set(JobState)

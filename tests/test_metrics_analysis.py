@@ -1,0 +1,98 @@
+"""Schedule-analysis metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.jobs.states import JobState
+from repro.metrics.analysis import (
+    COMPARE_HEADERS,
+    bounded_slowdown,
+    bounded_slowdown_stats,
+    compare_policies,
+    per_memory_class,
+    response_time_stats,
+    restart_summary,
+    runtime_dilation_stats,
+    wait_time_stats,
+)
+from repro.metrics.records import JobRecord, SimulationResult
+from repro.scheduler.simulator import simulate
+
+from test_metrics_records import record
+
+
+@pytest.fixture(scope="module")
+def sim_result(shared_workload):
+    cfg = SystemConfig.from_memory_level(62, n_nodes=96)
+    return simulate(shared_workload.fresh_jobs(), cfg, policy="dynamic",
+                    profiles=shared_workload.profiles)
+
+
+def test_wait_time_stats_structure(sim_result):
+    stats = wait_time_stats(sim_result)
+    assert stats["min"] <= stats["median"] <= stats["max"]
+    assert stats["q25"] <= stats["q75"]
+    assert stats["min"] >= 0
+
+
+def test_response_stats_dominate_waits(sim_result):
+    waits = wait_time_stats(sim_result)
+    resp = response_time_stats(sim_result)
+    assert resp["median"] >= waits["median"]
+
+
+def test_runtime_dilation_at_least_one(sim_result):
+    stats = runtime_dilation_stats(sim_result)
+    assert stats["min"] >= 1.0 - 1e-9
+    assert stats["max"] <= 4.0 + 1e-9  # MAX_SLOWDOWN cap
+
+
+def test_bounded_slowdown_single():
+    r = record(submit=0.0, start=100.0, finish=1100.0)
+    # response 1100, runtime 1000 -> bsld 1.1
+    assert bounded_slowdown(r) == pytest.approx(1.1)
+
+
+def test_bounded_slowdown_clamps_tiny_jobs():
+    r = JobRecord(jid=0, n_nodes=1, submit_time=0.0, start_time=50.0,
+                  finish_time=51.0, base_runtime=1.0, actual_runtime=1.0,
+                  mem_request_mb=1, peak_usage_mb=1, restarts=0,
+                  state=JobState.COMPLETED)
+    # tau=10 prevents 51/1=51; bsld = 51/10
+    assert bounded_slowdown(r) == pytest.approx(5.1)
+
+
+def test_bounded_slowdown_floor_is_one():
+    r = record(submit=0.0, start=0.0, finish=900.0, runtime=1000.0)
+    assert bounded_slowdown(r) >= 1.0
+
+
+def test_bounded_slowdown_stats(sim_result):
+    stats = bounded_slowdown_stats(sim_result)
+    assert stats["min"] >= 1.0
+
+
+def test_per_memory_class_split(sim_result):
+    split = per_memory_class(sim_result)
+    assert set(split) == {"normal", "large"}
+    assert split["normal"]["median"] > 0
+
+
+def test_restart_summary_no_restarts(sim_result):
+    summary = restart_summary(sim_result)
+    assert summary["total_restarts"] >= summary["jobs_restarted"] >= 0
+    assert 0 <= summary["wasted_fraction_bound"] < 1
+
+
+def test_compare_policies_rows(sim_result):
+    rows = compare_policies({"dynamic": sim_result})
+    assert len(rows) == 1
+    assert len(rows[0]) == len(COMPARE_HEADERS)
+    assert rows[0][0] == "dynamic"
+
+
+def test_empty_result_safe():
+    empty = SimulationResult(policy="x")
+    assert np.isnan(wait_time_stats(empty)["median"])
+    assert restart_summary(empty)["wasted_fraction_bound"] == 0.0

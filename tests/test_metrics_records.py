@@ -1,0 +1,93 @@
+"""JobRecord and SimulationResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.jobs.states import JobState
+from repro.metrics.records import JobRecord, SimulationResult
+
+
+def record(jid=0, submit=0.0, start=100.0, finish=1100.0, runtime=900.0,
+           restarts=0, state=JobState.COMPLETED, n_nodes=2):
+    return JobRecord(
+        jid=jid, n_nodes=n_nodes, submit_time=submit, start_time=start,
+        finish_time=finish, base_runtime=runtime,
+        actual_runtime=finish - start, mem_request_mb=1000,
+        peak_usage_mb=800, restarts=restarts, state=state,
+    )
+
+
+def test_record_derived_metrics():
+    r = record()
+    assert r.response_time == 1100.0
+    assert r.wait_time == 100.0
+    assert r.slowdown_experienced == pytest.approx(1000 / 900)
+
+
+def test_record_none_handling():
+    r = JobRecord(jid=0, n_nodes=1, submit_time=0.0, start_time=None,
+                  finish_time=None, base_runtime=10.0, actual_runtime=None,
+                  mem_request_mb=1, peak_usage_mb=1, restarts=0,
+                  state=JobState.UNRUNNABLE)
+    assert r.response_time is None
+    assert r.wait_time is None
+    assert r.slowdown_experienced is None
+
+
+@pytest.fixture
+def result():
+    res = SimulationResult(policy="static", total_nodes=8,
+                           total_capacity_mb=8 * 65536)
+    for i in range(4):
+        res.records.append(
+            record(jid=i, submit=i * 10.0, start=100.0 + i,
+                   finish=1000.0 + 100 * i)
+        )
+    res.first_submit = 0.0
+    res.makespan = 1300.0
+    res.node_busy_seconds = 8 * 1300 * 0.5
+    res.mem_allocated_mb_seconds = 8 * 65536 * 1300 * 0.25
+    return res
+
+
+def test_throughput(result):
+    assert result.throughput() == pytest.approx(4 / 1300.0)
+
+
+def test_response_times(result):
+    rts = result.response_times()
+    assert len(rts) == 4
+    assert rts[0] == 1000.0
+    assert result.median_response_time() == pytest.approx(np.median(rts))
+
+
+def test_utilizations(result):
+    assert result.cpu_utilization() == pytest.approx(0.5)
+    assert result.memory_utilization() == pytest.approx(0.25)
+
+
+def test_all_jobs_ran_flag(result):
+    assert result.all_jobs_ran()
+    result.unrunnable.append(99)
+    assert not result.all_jobs_ran()
+
+
+def test_oom_kill_fraction(result):
+    assert result.oom_kill_fraction() == 0.0
+    result.records[0] = record(jid=0, restarts=2)
+    assert result.oom_kill_fraction() == 0.25
+
+
+def test_empty_result_is_safe():
+    res = SimulationResult(policy="x")
+    assert res.throughput() == 0.0
+    assert np.isnan(res.median_response_time())
+    assert res.cpu_utilization() == 0.0
+    assert res.oom_kill_fraction() == 0.0
+
+
+def test_summary_keys(result):
+    s = result.summary()
+    assert s["throughput_jobs_per_s"] > 0
+    assert s["unrunnable"] == 0.0
+    assert "median_response_s" in s

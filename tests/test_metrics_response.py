@@ -1,0 +1,62 @@
+"""Response-time distribution helpers (Fig. 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.response import ecdf, median_reduction, quantile, quantile_gap
+
+
+def test_ecdf_basic():
+    x, y = ecdf(np.array([3.0, 1.0, 2.0]))
+    assert list(x) == [1.0, 2.0, 3.0]
+    assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_ecdf_monotone_and_bounded():
+    rng = np.random.default_rng(0)
+    x, y = ecdf(rng.exponential(100, size=500))
+    assert (np.diff(x) >= 0).all()
+    assert (np.diff(y) > 0).all()
+    assert y[-1] == 1.0
+
+
+def test_ecdf_empty():
+    x, y = ecdf(np.array([]))
+    assert len(x) == 0 and len(y) == 0
+
+
+def test_ecdf_with_duplicates():
+    x, y = ecdf(np.array([5.0, 5.0, 5.0]))
+    assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_quantile():
+    vals = np.arange(101, dtype=float)
+    assert quantile(vals, 0.5) == 50.0
+    assert np.isnan(quantile(np.array([]), 0.5))
+    with pytest.raises(ValueError):
+        quantile(vals, 1.5)
+
+
+def test_median_reduction_matches_paper_semantics():
+    static = np.array([100.0] * 10)
+    dynamic = np.array([31.0] * 10)
+    assert median_reduction(static, dynamic) == pytest.approx(0.69)
+
+
+def test_median_reduction_negative_when_worse():
+    assert median_reduction(np.array([10.0]), np.array([20.0])) == pytest.approx(-1.0)
+
+
+def test_median_reduction_degenerate():
+    assert np.isnan(median_reduction(np.array([]), np.array([1.0])))
+
+
+def test_quantile_gap_identical_is_zero():
+    a = np.linspace(1, 100, 50)
+    assert quantile_gap(a, a.copy()) == pytest.approx(0.0)
+
+
+def test_quantile_gap_detects_shift():
+    a = np.linspace(1, 100, 50)
+    assert quantile_gap(a, a * 1.05) == pytest.approx(0.05, abs=0.01)

@@ -1,0 +1,99 @@
+"""Per-node usage imbalance (node_scale) and its reclaim effect."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.core.errors import TraceError
+from repro.jobs.job import Job
+from repro.jobs.usage import UsageTrace
+from repro.policies.dynamic import DynamicDisaggregatedPolicy
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+from repro.traces.io import load_workload, save_workload
+from repro.traces.pipeline import synthetic_workload
+
+from conftest import make_job
+
+
+def test_node_scale_validation():
+    usage = UsageTrace.constant(1000)
+    with pytest.raises(TraceError):
+        Job(jid=0, submit_time=0, n_nodes=2, base_runtime=10,
+            walltime_limit=20, mem_request_mb=1000, usage=usage,
+            node_scale=(0.5,))  # wrong length
+    with pytest.raises(TraceError):
+        Job(jid=0, submit_time=0, n_nodes=2, base_runtime=10,
+            walltime_limit=20, mem_request_mb=1000, usage=usage,
+            node_scale=(0.5, 1.5))  # out of range
+    with pytest.raises(TraceError):
+        Job(jid=0, submit_time=0, n_nodes=2, base_runtime=10,
+            walltime_limit=20, mem_request_mb=1000, usage=usage,
+            node_scale=(0.5, 0.9))  # nobody at 1.0
+
+
+def test_rank_scale_defaults_to_one():
+    job = make_job(n_nodes=3)
+    assert job.rank_scale(0) == 1.0
+    assert job.rank_scale(2) == 1.0
+
+
+def test_dynamic_update_respects_node_scale(small_config):
+    cluster = Cluster(small_config)
+    policy = DynamicDisaggregatedPolicy(cluster)
+    job = make_job(jid=1, n_nodes=2, request_mb=40_000)
+    job.node_scale = (1.0, 0.5)
+    alloc = policy.plan(job)
+    cluster.apply(job.jid, alloc)
+    policy.update(job, progress=0.0, window=100.0)
+    a = cluster.allocations[job.jid]
+    heavy, light = a.nodes
+    assert a.total_on(heavy) == 40_000
+    assert a.total_on(light) == 20_000
+    cluster.check_invariants()
+
+
+def test_imbalance_increases_reclaim(small_config):
+    """Imbalanced jobs free more memory under the dynamic policy."""
+    wl_flat = synthetic_workload(n_jobs=120, frac_large=0.5,
+                                 overestimation=0.0, n_system_nodes=32,
+                                 node_imbalance=0.0, seed=6)
+    wl_imb = synthetic_workload(n_jobs=120, frac_large=0.5,
+                                overestimation=0.0, n_system_nodes=32,
+                                node_imbalance=0.4, seed=6)
+    flat = simulate(wl_flat.fresh_jobs(), small_config, policy="dynamic",
+                    model=NullContentionModel())
+    imb = simulate(wl_imb.fresh_jobs(), small_config, policy="dynamic",
+                   model=NullContentionModel())
+    assert imb.memory_utilization() < flat.memory_utilization()
+
+
+def test_generation_only_multi_node_jobs_scaled():
+    wl = synthetic_workload(n_jobs=150, frac_large=0.3, n_system_nodes=64,
+                            node_imbalance=0.3, seed=2)
+    for j in wl.jobs:
+        if j.n_nodes == 1:
+            assert j.node_scale is None
+        else:
+            assert j.node_scale is not None
+            assert len(j.node_scale) == j.n_nodes
+            assert max(j.node_scale) == 1.0
+
+
+def test_generation_validates():
+    with pytest.raises(TraceError):
+        synthetic_workload(n_jobs=10, node_imbalance=-0.5)
+
+
+def test_node_scale_roundtrips(tmp_path):
+    wl = synthetic_workload(n_jobs=60, frac_large=0.3, n_system_nodes=64,
+                            node_imbalance=0.3, seed=3)
+    path = tmp_path / "wl.json"
+    save_workload(wl, path)
+    back = load_workload(path)
+    for a, b in zip(wl.jobs, back.jobs):
+        assert a.node_scale == b.node_scale
+    # fresh_jobs preserves the scales too
+    for a, b in zip(wl.jobs, wl.fresh_jobs()):
+        assert a.node_scale == b.node_scale

@@ -1,0 +1,64 @@
+"""Baseline policy: exclusive nodes, no disaggregation."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.policies.baseline import BaselinePolicy
+
+from conftest import make_job
+
+
+@pytest.fixture
+def cluster(small_config):
+    return Cluster(small_config)  # 8x128GB + 24x64GB
+
+
+@pytest.fixture
+def policy(cluster):
+    return BaselinePolicy(cluster)
+
+
+def test_flags(policy):
+    assert not policy.uses_disaggregation
+    assert not policy.is_dynamic
+    assert policy.name == "baseline"
+
+
+def test_can_ever_run_by_capacity(policy):
+    assert policy.can_ever_run(make_job(request_mb=64 * 1024))
+    assert policy.can_ever_run(make_job(request_mb=128 * 1024, n_nodes=8))
+    assert not policy.can_ever_run(make_job(request_mb=128 * 1024, n_nodes=9))
+    assert not policy.can_ever_run(make_job(request_mb=128 * 1024 + 1))
+
+
+def test_plan_gets_exclusive_whole_node_memory(policy, cluster, small_config):
+    alloc = policy.plan(make_job(request_mb=1000, n_nodes=2))
+    assert alloc is not None
+    assert len(alloc.nodes) == 2
+    # Exclusive memory: the whole node is allocated regardless of request.
+    for n in alloc.nodes:
+        assert alloc.local_mb[n] == cluster.capacity_mb[n]
+    assert alloc.total_remote() == 0
+
+
+def test_plan_best_fit_prefers_small_nodes(policy, cluster):
+    alloc = policy.plan(make_job(request_mb=1000, n_nodes=1))
+    assert not cluster.is_large[alloc.nodes[0]]
+
+
+def test_plan_uses_large_nodes_when_needed(policy, cluster):
+    alloc = policy.plan(make_job(request_mb=100 * 1024, n_nodes=1))
+    assert cluster.is_large[alloc.nodes[0]]
+
+
+def test_plan_none_when_busy(policy, cluster):
+    job = make_job(request_mb=100 * 1024, n_nodes=8)
+    alloc = policy.plan(job)
+    cluster.apply(job.jid, alloc)
+    assert policy.plan(make_job(jid=2, request_mb=100 * 1024, n_nodes=1)) is None
+
+
+def test_plan_never_splits_memory(policy):
+    """Even an oversized request is all-or-nothing per node."""
+    assert policy.plan(make_job(request_mb=129 * 1024, n_nodes=1)) is None

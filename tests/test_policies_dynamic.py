@@ -1,0 +1,144 @@
+"""Dynamic disaggregated policy: Decider/Actuator resizing and OOM."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.jobs.usage import UsageTrace
+from repro.policies.dynamic import DynamicDisaggregatedPolicy
+
+from conftest import make_job
+
+
+@pytest.fixture
+def cluster(small_config):
+    return Cluster(small_config)
+
+
+@pytest.fixture
+def policy(cluster):
+    return DynamicDisaggregatedPolicy(cluster)
+
+
+def start(policy, cluster, job):
+    alloc = policy.plan(job)
+    assert alloc is not None
+    cluster.apply(job.jid, alloc)
+    return alloc
+
+
+def varying_job(jid=1, lo=10_000, hi=40_000, request=40_000, n_nodes=1):
+    job = make_job(jid=jid, n_nodes=n_nodes, runtime=1000.0, request_mb=request)
+    job.usage = UsageTrace([0.0, 500.0], [lo, hi])
+    return job
+
+
+def test_initial_allocation_is_request(policy, cluster):
+    job = varying_job()
+    alloc = start(policy, cluster, job)
+    assert alloc.total_on(alloc.nodes[0]) == 40_000
+
+
+def test_shrink_to_window_demand(policy, cluster):
+    job = varying_job()
+    start(policy, cluster, job)
+    out = policy.update(job, progress=0.0, window=100.0)
+    assert out.resized and out.freed_mb == 30_000
+    alloc = cluster.allocations[job.jid]
+    assert alloc.total_on(alloc.nodes[0]) == 10_000
+    cluster.check_invariants()
+
+
+def test_window_spanning_peak_keeps_peak(policy, cluster):
+    job = varying_job()
+    start(policy, cluster, job)
+    out = policy.update(job, progress=450.0, window=100.0)
+    # Window [450, 550] includes the 40k phase: no shrink.
+    assert out.freed_mb == 0
+
+
+def test_grow_back_after_shrink(policy, cluster):
+    job = varying_job()
+    start(policy, cluster, job)
+    policy.update(job, 0.0, 100.0)  # shrink to 10k
+    out = policy.update(job, 450.0, 100.0)  # phase 2 demands 40k
+    assert out.grown_mb == 30_000
+    alloc = cluster.allocations[job.jid]
+    assert alloc.total_on(alloc.nodes[0]) == 40_000
+    cluster.check_invariants()
+
+
+def test_shrink_releases_remote_before_local(policy, cluster):
+    job = varying_job(lo=50_000, hi=150_000, request=150_000)
+    start(policy, cluster, job)
+    alloc = cluster.allocations[job.jid]
+    assert alloc.total_remote() > 0
+    policy.update(job, 0.0, 100.0)  # demand 50k fits locally
+    assert alloc.total_remote() == 0
+    assert alloc.total_local() == 50_000
+
+
+def test_grow_prefers_local(policy, cluster):
+    job = varying_job(lo=10_000, hi=60_000, request=60_000)
+    start(policy, cluster, job)
+    policy.update(job, 0.0, 100.0)
+    policy.update(job, 450.0, 100.0)
+    alloc = cluster.allocations[job.jid]
+    # 60k fits entirely in the chosen node's local memory.
+    assert alloc.total_remote() == 0
+
+
+def test_headroom_keeps_margin(cluster):
+    policy = DynamicDisaggregatedPolicy(cluster, headroom_mb=1024)
+    job = varying_job()
+    start(policy, cluster, job)
+    policy.update(job, 0.0, 100.0)
+    alloc = cluster.allocations[job.jid]
+    assert alloc.total_on(alloc.nodes[0]) == 11_024
+
+
+def test_oom_when_pool_exhausted(cluster):
+    policy = DynamicDisaggregatedPolicy(cluster)
+    total = cluster.total_capacity_mb()
+    # Job A grows to hold almost everything.
+    a = varying_job(jid=1, lo=1000, hi=total - 70_000, request=total - 70_000)
+    start(policy, cluster, a)
+    # Job B starts small then needs more than what remains (65 GB free).
+    b = varying_job(jid=2, lo=1000, hi=75_000, request=5_000)
+    start(policy, cluster, b)
+    out = policy.update(b, 450.0, 100.0)
+    assert out.oom
+
+
+def test_pinned_jobs_not_resized(cluster):
+    policy = DynamicDisaggregatedPolicy(cluster, max_oom_failures=2)
+    job = varying_job()
+    job.restarts = 2  # reached the failure cap
+    start(policy, cluster, job)
+    assert policy.is_pinned(job)
+    out = policy.update(job, 0.0, 100.0)
+    assert not out.resized and out.freed_mb == 0
+    policy.on_finish(job)
+    assert not policy.is_pinned(job)
+
+
+def test_update_unallocated_job_noop(policy):
+    out = policy.update(varying_job(), 0.0, 100.0)
+    assert not out.resized and not out.oom
+
+
+def test_constructor_validation(cluster):
+    with pytest.raises(ValueError):
+        DynamicDisaggregatedPolicy(cluster, headroom_mb=-1)
+    with pytest.raises(ValueError):
+        DynamicDisaggregatedPolicy(cluster, max_oom_failures=-1)
+
+
+def test_multi_node_update_consistent(policy, cluster):
+    job = varying_job(n_nodes=4)
+    start(policy, cluster, job)
+    policy.update(job, 0.0, 100.0)
+    alloc = cluster.allocations[job.jid]
+    for n in alloc.nodes:
+        assert alloc.total_on(n) == 10_000
+    cluster.check_invariants()

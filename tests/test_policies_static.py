@@ -1,0 +1,115 @@
+"""Static disaggregated policy (Zacarias et al.)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.policies.static import StaticDisaggregatedPolicy
+
+from conftest import make_job
+
+
+@pytest.fixture
+def cluster(small_config):
+    return Cluster(small_config)  # 8x128GB + 24x64GB = 2560 GB
+
+
+@pytest.fixture
+def policy(cluster):
+    return StaticDisaggregatedPolicy(cluster)
+
+
+def test_flags(policy):
+    assert policy.uses_disaggregation
+    assert not policy.is_dynamic
+
+
+def test_can_ever_run_limited_by_pool(policy, cluster):
+    total = cluster.total_capacity_mb()
+    ok = make_job(n_nodes=4, request_mb=total // 4)
+    too_big = make_job(n_nodes=4, request_mb=total // 4 + 1)
+    assert policy.can_ever_run(ok)
+    assert not policy.can_ever_run(too_big)
+    assert not policy.can_ever_run(make_job(n_nodes=33, request_mb=1))
+
+
+def test_local_when_fits(policy):
+    alloc = policy.plan(make_job(request_mb=32 * 1024, n_nodes=2))
+    assert alloc is not None
+    assert alloc.total_remote() == 0
+    assert all(v == 32 * 1024 for v in alloc.local_mb.values())
+
+
+def test_fitting_nodes_chosen_best_fit(policy, cluster):
+    """When normal nodes suffice, large nodes are preserved."""
+    alloc = policy.plan(make_job(request_mb=32 * 1024, n_nodes=4))
+    assert all(not cluster.is_large[n] for n in alloc.nodes)
+
+
+def test_borrows_when_request_exceeds_node(policy, cluster):
+    job = make_job(request_mb=200 * 1024, n_nodes=1)
+    alloc = policy.plan(job)
+    assert alloc is not None
+    node = alloc.nodes[0]
+    assert cluster.is_large[node]  # most free memory
+    assert alloc.local_mb[node] == 128 * 1024
+    assert alloc.total_remote() == 72 * 1024
+    assert alloc.total() == 200 * 1024
+    cluster.apply(job.jid, alloc)  # must be committable
+    cluster.check_invariants()
+
+
+def test_allocation_exactly_matches_request(policy):
+    for req in (1000, 64 * 1024, 150 * 1024):
+        alloc = policy.plan(make_job(request_mb=req, n_nodes=3))
+        assert alloc is not None
+        for n in alloc.nodes:
+            assert alloc.total_on(n) == req
+
+
+def test_memory_node_not_selected_for_compute(policy, cluster, small_config):
+    # Force node 31 beyond half-lent via a hand-built allocation.
+    from repro.cluster.allocation import JobAllocation
+
+    cap = small_config.normal_mem_mb
+    alloc = JobAllocation(
+        nodes=[8],
+        local_mb={8: 1000},
+        remote_mb={8: {31: cap // 2 + 1}},
+    )
+    cluster.apply(50, alloc)
+    memory_nodes = cluster.is_memory_node()
+    assert memory_nodes.any()
+    # A wide job over all remaining nodes cannot include memory nodes.
+    n_startable = int(cluster.startable().sum())
+    wide = make_job(jid=51, request_mb=1000, n_nodes=n_startable)
+    alloc2 = policy.plan(wide)
+    assert alloc2 is not None
+    assert not any(memory_nodes[n] for n in alloc2.nodes)
+
+
+def test_whole_cluster_job_with_intra_job_lending(policy, cluster, small_config):
+    """A job spanning every node balances memory across its own nodes."""
+    req = 80 * 1024  # above normal capacity, below the per-node average
+    job = make_job(request_mb=req, n_nodes=cluster.n_nodes)
+    assert policy.can_ever_run(job)
+    alloc = policy.plan(job)
+    assert alloc is not None
+    cluster.apply(job.jid, alloc)
+    cluster.check_invariants()
+    for n in alloc.nodes:
+        assert alloc.total_on(n) == req
+
+
+def test_plan_equal_to_whole_pool_feasible(policy, cluster):
+    """One node may consume the entire pool via remote borrowing."""
+    total = cluster.total_capacity_mb()
+    alloc = policy.plan(make_job(request_mb=total, n_nodes=1))
+    assert alloc is not None
+    assert alloc.total() == total
+
+
+def test_plan_none_when_pool_exhausted(policy, cluster):
+    total = cluster.total_capacity_mb()
+    job = make_job(request_mb=total + 1, n_nodes=1)
+    assert policy.plan(job) is None

@@ -1,0 +1,151 @@
+"""Property-based tests on whole simulations.
+
+Random small workloads are run end-to-end under each policy; the
+output records must satisfy global invariants regardless of the input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.jobs.job import Job
+from repro.jobs.states import JobState
+from repro.jobs.usage import UsageTrace
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+
+CONFIG = SystemConfig(n_nodes=8, normal_mem_gb=64, large_mem_gb=128,
+                      frac_large_nodes=0.25)
+
+job_strategy = st.builds(
+    lambda jid, submit, nodes, runtime, req_frac, phases: _make_job(
+        jid, submit, nodes, runtime, req_frac, phases
+    ),
+    jid=st.integers(0, 10**6),
+    submit=st.floats(0, 10_000, allow_nan=False),
+    nodes=st.integers(1, 8),
+    runtime=st.floats(60, 20_000, allow_nan=False),
+    req_frac=st.floats(0.01, 1.4),  # of a normal node; >1 needs borrowing
+    phases=st.lists(st.floats(0.05, 1.0), min_size=1, max_size=4),
+)
+
+
+def _make_job(jid, submit, nodes, runtime, req_frac, phases):
+    peak = max(int(req_frac * 64 * 1024), 16)
+    levels = [max(int(p * peak), 1) for p in phases]
+    levels[-1] = peak  # pin the peak
+    times = [i * runtime / len(levels) for i in range(len(levels))]
+    return Job(
+        jid=jid,
+        submit_time=submit,
+        n_nodes=nodes,
+        base_runtime=runtime,
+        walltime_limit=runtime * 2,
+        mem_request_mb=peak,
+        usage=UsageTrace(times, levels),
+    )
+
+
+def _dedupe(jobs):
+    seen = set()
+    out = []
+    for j in jobs:
+        if j.jid not in seen:
+            seen.add(j.jid)
+            out.append(j)
+    return out
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=15),
+       policy=st.sampled_from(["baseline", "static", "dynamic"]))
+@settings(max_examples=40, deadline=None)
+def test_simulation_invariants(jobs, policy):
+    jobs = _dedupe(jobs)
+    res = simulate(jobs, CONFIG, policy=policy, model=NullContentionModel())
+
+    # Every job is accounted for exactly once.
+    assert len(res.records) + len(res.unrunnable) == len(jobs)
+
+    by_jid = {j.jid: j for j in jobs}
+    for rec in res.records:
+        job = by_jid[rec.jid]
+        assert rec.state in (JobState.COMPLETED,)
+        # Causality: submit <= start <= finish.
+        assert rec.start_time >= rec.submit_time
+        assert rec.finish_time >= rec.start_time
+        # Without contention, actual runtime of the final attempt equals
+        # the remaining work at its last start (>= one full runtime only
+        # when never restarted).
+        if rec.restarts == 0:
+            assert rec.actual_runtime == pytest.approx(job.base_runtime,
+                                                       rel=1e-9)
+        # Starts align to the scheduler cadence.
+        assert rec.start_time % CONFIG.sched_interval == pytest.approx(0.0)
+
+    # Unrunnable jobs really are infeasible for this policy.
+    total_mb = (CONFIG.n_normal_nodes * CONFIG.normal_mem_mb
+                + CONFIG.n_large_nodes * CONFIG.large_mem_mb)
+    for jid in res.unrunnable:
+        job = by_jid[jid]
+        if policy == "baseline":
+            fitting = CONFIG.n_nodes
+            if job.mem_request_mb > CONFIG.normal_mem_mb:
+                fitting = CONFIG.n_large_nodes
+            if job.mem_request_mb > CONFIG.large_mem_mb:
+                fitting = 0
+            assert job.n_nodes > fitting
+        else:
+            assert job.n_nodes * job.mem_request_mb > total_mb
+
+    # Aggregates are consistent.
+    assert res.n_completed == len(res.records)
+    if res.n_completed:
+        assert res.throughput() > 0
+        assert res.span() >= 0
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_simulation_deterministic(jobs):
+    jobs = _dedupe(jobs)
+
+    def clone(js):
+        return [
+            Job(jid=j.jid, submit_time=j.submit_time, n_nodes=j.n_nodes,
+                base_runtime=j.base_runtime, walltime_limit=j.walltime_limit,
+                mem_request_mb=j.mem_request_mb, usage=j.usage)
+            for j in js
+        ]
+
+    r1 = simulate(clone(jobs), CONFIG, policy="dynamic",
+                  model=NullContentionModel())
+    r2 = simulate(clone(jobs), CONFIG, policy="dynamic",
+                  model=NullContentionModel())
+    assert [rec.finish_time for rec in r1.records] == [
+        rec.finish_time for rec in r2.records
+    ]
+    assert r1.oom_kills == r2.oom_kills
+
+
+@given(jobs=st.lists(job_strategy, min_size=2, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_dynamic_never_loses_jobs_vs_static(jobs):
+    """Dynamic must complete at least every job static completes."""
+    jobs = _dedupe(jobs)
+
+    def clone(js):
+        return [
+            Job(jid=j.jid, submit_time=j.submit_time, n_nodes=j.n_nodes,
+                base_runtime=j.base_runtime, walltime_limit=j.walltime_limit,
+                mem_request_mb=j.mem_request_mb, usage=j.usage)
+            for j in js
+        ]
+
+    st_res = simulate(clone(jobs), CONFIG, policy="static",
+                      model=NullContentionModel())
+    dy_res = simulate(clone(jobs), CONFIG, policy="dynamic",
+                      model=NullContentionModel())
+    assert dy_res.n_completed == st_res.n_completed
+    assert set(dy_res.unrunnable) == set(st_res.unrunnable)

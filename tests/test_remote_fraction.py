@@ -1,0 +1,56 @@
+"""Remote-memory share metric (§2.2: maximise the local-to-remote ratio)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.metrics.records import SimulationResult
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+from repro.traces.pipeline import synthetic_workload
+
+from conftest import make_job
+
+
+def test_baseline_is_all_local(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="baseline",
+                   model=NullContentionModel())
+    assert res.remote_memory_fraction() == 0.0
+
+
+def test_local_static_job_is_all_local(tiny_config):
+    res = simulate([make_job(request_mb=1000)], tiny_config, policy="static",
+                   model=NullContentionModel())
+    assert res.remote_memory_fraction() == 0.0
+
+
+def test_oversized_static_job_uses_remote(tiny_config):
+    cap = tiny_config.normal_mem_mb
+    job = make_job(request_mb=cap * 2)
+    res = simulate([job], tiny_config, policy="static",
+                   model=NullContentionModel())
+    # Half of the job's memory lives on a lender node.
+    assert res.remote_memory_fraction() == pytest.approx(0.5, abs=0.02)
+
+
+def test_dynamic_reduces_remote_share_vs_static():
+    """Shrinking remote memory first drives the remote share down."""
+    wl = synthetic_workload(n_jobs=120, frac_large=0.75, overestimation=0.6,
+                            n_system_nodes=64, seed=4)
+    cfg = SystemConfig.from_memory_level(50, n_nodes=64)
+    static = simulate(wl.fresh_jobs(), cfg, policy="static",
+                      profiles=wl.profiles)
+    dynamic = simulate(wl.fresh_jobs(), cfg, policy="dynamic",
+                       profiles=wl.profiles)
+    assert static.remote_memory_fraction() > 0.05
+    assert (dynamic.remote_memory_fraction()
+            < static.remote_memory_fraction())
+
+
+def test_empty_result_safe():
+    assert SimulationResult(policy="x").remote_memory_fraction() == 0.0
+
+
+def test_summary_includes_remote_fraction(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="static",
+                   model=NullContentionModel())
+    assert "remote_memory_fraction" in res.summary()

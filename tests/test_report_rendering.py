@@ -1,0 +1,73 @@
+"""Report rendering edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    _fmt,
+    render_figure5,
+    render_figure9,
+    render_heatmap,
+    render_table,
+)
+
+
+def test_fmt_none():
+    assert _fmt(None).strip() == "-"
+
+
+def test_fmt_nan():
+    assert _fmt(float("nan")).strip() == "nan"
+
+
+def test_fmt_small_and_large_scientific():
+    assert "e-" in _fmt(3.2e-7)
+    assert "e+" in _fmt(1.5e7)
+
+
+def test_fmt_normal_floats():
+    assert _fmt(0.525).strip() == "0.525"
+    assert _fmt(12.0).strip() == "12.000"
+
+
+def test_fmt_ints_and_strings():
+    assert _fmt(42).strip() == "42"
+    assert _fmt("abc").strip() == "abc"
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "longheader"], [[1, 2.5], [300, None]])
+    lines = out.splitlines()
+    # All rows share the same width.
+    assert len(set(len(l) for l in lines)) == 1
+
+
+def test_render_table_with_title():
+    out = render_table(["x"], [[1]], title="My Title")
+    assert out.splitlines()[0] == "My Title"
+
+
+def test_render_figure5_missing_bars():
+    data = {"panel": {0.6: {37: {"baseline": None, "static": 0.7,
+                                 "dynamic": 0.9}}}}
+    out = render_figure5(data)
+    assert "-" in out
+    assert "0.700" in out and "0.900" in out
+    assert "+60%" in out
+
+
+def test_render_figure9_none_level():
+    data = {"static": {1.0: None}, "dynamic": {1.0: 37}}
+    out = render_figure9(data)
+    assert "-" in out and "37" in out
+
+
+def test_render_heatmap_row_order():
+    grid = np.zeros((5, 8))
+    grid[4, 0] = 99.0  # top memory bin
+    out = render_heatmap(grid, "t")
+    lines = out.splitlines()
+    # Highest memory bin renders first (as the paper's heatmaps do).
+    first_data_row = lines[3]
+    assert first_data_row.strip().startswith("[96,128)")
+    assert "99" in first_data_row

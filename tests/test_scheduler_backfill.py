@@ -1,0 +1,93 @@
+"""EASY-backfill reservation estimation."""
+
+import pytest
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.scheduler.backfill import can_backfill, expected_finish, shadow_time
+
+from conftest import make_job
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(SystemConfig(n_nodes=4, normal_mem_gb=64, frac_large_nodes=0.0))
+
+
+def running_job(cluster, jid, nodes, start, walltime, mem=1000):
+    job = make_job(jid=jid, n_nodes=len(nodes), request_mb=mem,
+                   runtime=walltime / 2, walltime=walltime)
+    job.start_time = start
+    alloc = JobAllocation(nodes=list(nodes), local_mb={n: mem for n in nodes})
+    cluster.apply(jid, alloc)
+    return job
+
+
+def test_expected_finish():
+    job = make_job(runtime=400.0, walltime=500.0)
+    job.start_time = 100.0
+    assert expected_finish(job, now=200.0) == 600.0
+    # Already past the limit: assumed imminent.
+    assert expected_finish(job, now=900.0) == 900.0
+
+
+def test_expected_finish_unstarted_job():
+    job = make_job()
+    assert expected_finish(job, now=42.0) == 42.0
+
+
+def test_shadow_now_when_already_feasible(cluster):
+    blocked = make_job(n_nodes=2, request_mb=1000)
+    assert shadow_time(blocked, cluster, [], now=50.0, disaggregated=True) == 50.0
+
+
+def test_shadow_waits_for_releases(cluster):
+    r1 = running_job(cluster, 1, [0, 1], start=0.0, walltime=300.0)
+    r2 = running_job(cluster, 2, [2, 3], start=0.0, walltime=700.0)
+    blocked = make_job(jid=9, n_nodes=3, request_mb=1000)
+    t = shadow_time(blocked, cluster, [r1, r2], now=100.0, disaggregated=True)
+    # Needs 3 nodes: r1's release gives 2, r2's gives 4 -> at 700.
+    assert t == 700.0
+
+
+def test_shadow_respects_memory_for_disaggregated(cluster):
+    # All four nodes idle but their memory is lent away.
+    donor = make_job(jid=1, n_nodes=1, request_mb=1000)
+    alloc = JobAllocation(
+        nodes=[0],
+        local_mb={0: 1000},
+        remote_mb={0: {1: 60000, 2: 60000, 3: 60000}},
+    )
+    cluster.apply(1, alloc)
+    donor.base_runtime = 200.0
+    donor.start_time = 0.0
+    donor.walltime_limit = 400.0
+    blocked = make_job(jid=9, n_nodes=2, request_mb=60000)
+    t = shadow_time(blocked, cluster, [donor], now=10.0, disaggregated=True)
+    assert t == 400.0  # must wait for the borrowing job to release
+
+
+def test_shadow_baseline_needs_fitting_nodes():
+    cluster = Cluster(
+        SystemConfig(n_nodes=4, normal_mem_gb=64, large_mem_gb=128,
+                     frac_large_nodes=0.25)
+    )
+    r = running_job(cluster, 1, [0], start=0.0, walltime=500.0, mem=100000)
+    blocked = make_job(jid=9, n_nodes=1, request_mb=100 * 1024)
+    # Only node 0 (large) fits the blocked job; it frees at 500.
+    t = shadow_time(blocked, cluster, [r], now=10.0, disaggregated=False)
+    assert t == 500.0
+
+
+def test_shadow_inf_when_never_feasible(cluster):
+    blocked = make_job(jid=9, n_nodes=8, request_mb=1000)  # > cluster size
+    t = shadow_time(blocked, cluster, [], now=0.0, disaggregated=True)
+    assert t == float("inf")
+
+
+def test_can_backfill_window():
+    candidate = make_job(walltime=100.0, runtime=50.0)
+    assert can_backfill(candidate, now=0.0, shadow=100.0)
+    assert not can_backfill(candidate, now=1.0, shadow=100.0)
+    assert can_backfill(candidate, now=1.0, shadow=float("inf"))

@@ -1,0 +1,87 @@
+"""Structured event log."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.jobs.usage import UsageTrace
+from repro.scheduler import eventlog as ev
+from repro.scheduler.eventlog import EventLog, LogEntry, NullEventLog
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+
+from conftest import make_job
+
+
+def test_log_entry_render():
+    entry = LogEntry(time=120.0, event=ev.START, jid=7, detail="x=1")
+    text = entry.render()
+    assert "120.0s" in text and "start" in text and "job 7" in text and "x=1" in text
+
+
+def test_event_log_filters():
+    log = EventLog()
+    log.log(1.0, ev.SUBMIT, 1)
+    log.log(2.0, ev.START, 1)
+    log.log(2.0, ev.SUBMIT, 2)
+    log.log(5.0, ev.FINISH, 1)
+    assert len(log) == 4
+    assert [e.event for e in log.for_job(1)] == [ev.SUBMIT, ev.START, ev.FINISH]
+    assert len(log.of_kind(ev.SUBMIT)) == 2
+
+
+def test_render_limit():
+    log = EventLog()
+    for i in range(10):
+        log.log(float(i), ev.SUBMIT, i)
+    text = log.render(limit=3)
+    assert "(7 more)" in text
+
+
+def test_null_log_records_nothing():
+    log = NullEventLog()
+    log.log(1.0, ev.SUBMIT, 1)
+    assert len(log) == 0
+
+
+def test_simulation_with_logging(tiny_config):
+    jobs = [make_job(jid=i, submit=float(i * 10), runtime=300.0)
+            for i in range(3)]
+    res = simulate(jobs, tiny_config, policy="static",
+                   model=NullContentionModel(), log_events=True)
+    log = res.meta["event_log"]
+    assert len(log.of_kind(ev.SUBMIT)) == 3
+    assert len(log.of_kind(ev.START)) == 3
+    assert len(log.of_kind(ev.FINISH)) == 3
+    # Per-job events are causally ordered.
+    for jid in range(3):
+        times = [e.time for e in log.for_job(jid)]
+        assert times == sorted(times)
+
+
+def test_logging_off_by_default(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="static",
+                   model=NullContentionModel())
+    assert "event_log" not in res.meta
+
+
+def test_dynamic_resize_and_oom_logged(tiny_config):
+    total = tiny_config.total_memory_mb()
+    hog = make_job(jid=0, submit=0.0, n_nodes=1, runtime=4000.0,
+                   request_mb=total - 70_000)
+    grower = make_job(jid=1, submit=0.0, n_nodes=1, runtime=1000.0,
+                      request_mb=5_000, peak_mb=5_000)
+    grower.usage = UsageTrace([0.0, 500.0], [1_000, 100_000])
+    res = simulate([hog, grower], tiny_config, policy="dynamic",
+                   model=NullContentionModel(), log_events=True)
+    log = res.meta["event_log"]
+    assert len(log.of_kind(ev.OOM_KILL)) >= 1
+    kills = log.for_job(1)
+    assert any(e.event == ev.OOM_KILL for e in kills)
+
+
+def test_unrunnable_logged(tiny_config):
+    giant = make_job(jid=0, request_mb=10**9)
+    res = simulate([giant], tiny_config, policy="static",
+                   model=NullContentionModel(), log_events=True)
+    log = res.meta["event_log"]
+    assert len(log.of_kind(ev.UNRUNNABLE)) == 1

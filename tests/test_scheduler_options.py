@@ -1,0 +1,113 @@
+"""Scheduler configuration options: FCFS mode and wall-limit enforcement."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigError
+from repro.jobs.states import JobState
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+from repro.slowdown.profiles import AppProfile
+
+from conftest import make_job
+
+
+def run(jobs, config, policy="static", **kw):
+    kw.setdefault("model", NullContentionModel())
+    return simulate(jobs, config, policy=policy, **kw)
+
+
+def test_scheduling_option_validated():
+    with pytest.raises(ConfigError):
+        SystemConfig(scheduling="sjf")
+
+
+def fcfs_workload():
+    # j0 holds one of two nodes; j1 (2 nodes) blocks; j2 could backfill.
+    return [
+        make_job(jid=0, submit=0.0, n_nodes=1, runtime=1000.0, walltime=1000.0),
+        make_job(jid=1, submit=10.0, n_nodes=2, runtime=100.0, walltime=100.0),
+        make_job(jid=2, submit=20.0, n_nodes=1, runtime=100.0, walltime=100.0),
+    ]
+
+
+def test_fcfs_never_overtakes():
+    config = SystemConfig(n_nodes=2, normal_mem_gb=64, frac_large_nodes=0.0,
+                          scheduling="fcfs")
+    res = run(fcfs_workload(), config)
+    recs = {r.jid: r for r in res.records}
+    assert recs[2].start_time >= recs[1].start_time
+
+
+def test_backfill_beats_fcfs_on_makespan():
+    base = SystemConfig(n_nodes=2, normal_mem_gb=64, frac_large_nodes=0.0)
+    res_bf = run(fcfs_workload(), base)
+    res_fcfs = run(fcfs_workload(), base.with_(scheduling="fcfs"))
+    assert res_bf.median_response_time() <= res_fcfs.median_response_time()
+
+
+# ----------------------------------------------------------------------
+# Wall-limit enforcement
+# ----------------------------------------------------------------------
+SLOW_PROFILE = AppProfile("slow", bw_demand_gbps=10.0, remote_sensitivity=0.9,
+                          contention_sensitivity=0.0, read_write_ratio=1.0,
+                          typical_nodes=1, typical_runtime=100.0)
+
+
+def test_walltime_kill_fires(tiny_config):
+    config = tiny_config.with_(enforce_walltime=True)
+    job = make_job(jid=0, runtime=1000.0, walltime=1000.0)
+    job.walltime_limit = 500.0  # bypass the constructor clamp
+    res = run([job], config)
+    assert res.timeouts == 1
+    assert res.n_completed == 0
+    rec = res.records[0]
+    assert rec.state is JobState.TIMEOUT
+    assert rec.finish_time == pytest.approx(rec.start_time + 500.0)
+
+
+def test_walltime_not_enforced_by_default(tiny_config):
+    job = make_job(jid=0, runtime=1000.0, walltime=1000.0)
+    job.walltime_limit = 500.0
+    res = run([job], tiny_config)
+    assert res.timeouts == 0
+    assert res.n_completed == 1
+
+
+def test_walltime_kill_of_slowed_job(tiny_config):
+    """A job slowed by remote memory can overrun its (accurate) limit."""
+    from repro.slowdown.model import ContentionModel
+
+    config = tiny_config.with_(enforce_walltime=True)
+    total = config.total_memory_mb()
+    # Request forces heavy borrowing: three nodes' worth on one node.
+    job = make_job(jid=0, n_nodes=1, runtime=1000.0, walltime=1100.0,
+                   request_mb=(total * 3) // 4)
+    res = simulate([job], config, policy="static",
+                   model=ContentionModel([SLOW_PROFILE]))
+    # Remote fraction ~2/3 at sensitivity 0.9 -> slowdown ~1.6 > 1.1 limit.
+    assert res.timeouts == 1
+
+
+def test_walltime_kill_frees_resources(tiny_config):
+    config = tiny_config.with_(enforce_walltime=True)
+    overrunner = make_job(jid=0, submit=0.0, n_nodes=4, runtime=5000.0)
+    overrunner.walltime_limit = 300.0
+    follower = make_job(jid=1, submit=10.0, n_nodes=4, runtime=100.0,
+                        walltime=100.0)
+    res = run([overrunner, follower], config)
+    assert res.timeouts == 1
+    recs = {r.jid: r for r in res.records}
+    # Follower starts right after the timeout kill.
+    assert recs[1].start_time <= recs[0].finish_time + config.sched_interval
+    assert res.summary()["timeouts"] == 1.0
+
+
+def test_completed_job_not_double_killed(tiny_config):
+    """Finish and wall-kill at distinct times: no stale-kill crash."""
+    config = tiny_config.with_(enforce_walltime=True)
+    jobs = [make_job(jid=i, submit=float(i), runtime=200.0, walltime=400.0)
+            for i in range(6)]
+    res = run(jobs, config)
+    assert res.timeouts == 0
+    assert res.n_completed == 6

@@ -1,0 +1,61 @@
+"""FCFS pending queue."""
+
+from repro.scheduler.queue import PendingQueue
+
+from conftest import make_job
+
+
+def test_fcfs_order_by_queue_time():
+    q = PendingQueue()
+    late = make_job(jid=1, submit=100.0)
+    early = make_job(jid=2, submit=10.0)
+    q.add(late)
+    q.add(early)
+    assert [j.jid for j in q] == [2, 1]
+
+
+def test_jid_breaks_ties():
+    q = PendingQueue()
+    b = make_job(jid=5, submit=10.0)
+    a = make_job(jid=3, submit=10.0)
+    q.add(b)
+    q.add(a)
+    assert q.peek().jid == 3
+
+
+def test_head_depth():
+    q = PendingQueue()
+    for i in range(10):
+        q.add(make_job(jid=i, submit=float(i)))
+    head = q.head(3)
+    assert [j.jid for j in head] == [0, 1, 2]
+    assert len(q) == 10  # head is non-destructive
+
+
+def test_remove():
+    q = PendingQueue()
+    job = make_job(jid=1)
+    q.add(job)
+    q.remove(job)
+    assert not q
+    assert q.peek() is None
+
+
+def test_requeued_job_goes_to_tail():
+    q = PendingQueue()
+    first = make_job(jid=1, submit=0.0)
+    second = make_job(jid=2, submit=50.0)
+    q.add(first)
+    q.add(second)
+    q.remove(first)
+    first.queue_time = 100.0  # restarted later
+    q.add(first)
+    assert [j.jid for j in q] == [2, 1]
+
+
+def test_min_nodes():
+    q = PendingQueue()
+    assert q.min_nodes() == 0
+    q.add(make_job(jid=1, n_nodes=8))
+    q.add(make_job(jid=2, n_nodes=2))
+    assert q.min_nodes() == 2

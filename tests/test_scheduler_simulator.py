@@ -1,0 +1,66 @@
+"""simulate() entry-point semantics."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.core.errors import SimulationError
+from repro.policies.dynamic import DynamicDisaggregatedPolicy
+from repro.scheduler.simulator import simulate
+from repro.slowdown.model import NullContentionModel
+
+from conftest import make_job
+
+
+def test_policy_instance_used_directly(tiny_config):
+    cluster = Cluster(tiny_config)
+    policy = DynamicDisaggregatedPolicy(cluster, headroom_mb=256)
+    res = simulate([make_job()], tiny_config, policy=policy,
+                   model=NullContentionModel())
+    assert res.policy == "dynamic"
+    assert res.n_completed == 1
+
+
+def test_policy_instance_config_mismatch_rejected(tiny_config, small_config):
+    cluster = Cluster(small_config)
+    policy = DynamicDisaggregatedPolicy(cluster)
+    with pytest.raises(SimulationError):
+        simulate([make_job()], tiny_config, policy=policy,
+                 model=NullContentionModel())
+
+
+def test_unknown_policy_name_rejected(tiny_config):
+    with pytest.raises(KeyError):
+        simulate([make_job()], tiny_config, policy="greedy")
+
+
+def test_policy_kwargs_forwarded(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="dynamic",
+                   model=NullContentionModel(), headroom_mb=128)
+    assert res.n_completed == 1
+    with pytest.raises(ValueError):
+        simulate([make_job()], tiny_config, policy="dynamic",
+                 model=NullContentionModel(), headroom_mb=-5)
+
+
+def test_max_events_guard(tiny_config):
+    jobs = [make_job(jid=i, submit=float(i), runtime=100.0) for i in range(5)]
+    with pytest.raises(SimulationError):
+        simulate(jobs, tiny_config, policy="static",
+                 model=NullContentionModel(), max_events=3)
+
+
+def test_default_model_uses_config_bandwidth(tiny_config):
+    """Without an explicit model the contention model is built from the
+    config's node bandwidth (a job borrowing heavily slows down)."""
+    cap = tiny_config.normal_mem_mb
+    job = make_job(request_mb=cap * 3)  # remote fraction ~2/3
+    res = simulate([job], tiny_config, policy="static")
+    rec = res.records[0]
+    assert rec.actual_runtime > rec.base_runtime  # slowdown applied
+
+
+def test_result_meta_contains_config(tiny_config):
+    res = simulate([make_job()], tiny_config, policy="baseline",
+                   model=NullContentionModel())
+    assert res.meta["config"] == tiny_config

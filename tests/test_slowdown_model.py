@@ -1,0 +1,115 @@
+"""Contention/slowdown model."""
+
+import pytest
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+from repro.core.config import SystemConfig
+from repro.slowdown.model import MAX_SLOWDOWN, ContentionModel, NullContentionModel
+from repro.slowdown.profiles import AppProfile, profile_pool
+
+from conftest import make_job
+
+LOW_SENS = AppProfile("low", bw_demand_gbps=1.0, remote_sensitivity=0.05,
+                      contention_sensitivity=0.1, read_write_ratio=1.0,
+                      typical_nodes=1, typical_runtime=100.0)
+HIGH_SENS = AppProfile("high", bw_demand_gbps=500.0, remote_sensitivity=0.6,
+                       contention_sensitivity=1.0, read_write_ratio=1.0,
+                       typical_nodes=1, typical_runtime=100.0)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(SystemConfig(n_nodes=8, normal_mem_gb=64, frac_large_nodes=0.0))
+
+
+def run_with_remote(cluster, jid, profile_idx, local, remote, node=0, lender=7):
+    alloc = JobAllocation(nodes=[node], local_mb={node: local})
+    if remote:
+        alloc.remote_mb = {node: {lender: remote}}
+    cluster.apply(jid, alloc)
+    job = make_job(jid=jid, request_mb=local + remote, profile=profile_idx)
+    return job
+
+
+def test_all_local_is_unit_slowdown(cluster):
+    model = ContentionModel([LOW_SENS, HIGH_SENS])
+    job = run_with_remote(cluster, 1, 1, 10000, 0)
+    assert model.slowdown(job, cluster, {1: job}) == 1.0
+
+
+def test_unallocated_job_is_unit(cluster):
+    model = ContentionModel([LOW_SENS])
+    job = make_job(jid=9)
+    assert model.slowdown(job, cluster, {}) == 1.0
+
+
+MID_SENS = AppProfile("mid", bw_demand_gbps=10.0, remote_sensitivity=0.6,
+                      contention_sensitivity=1.0, read_write_ratio=1.0,
+                      typical_nodes=1, typical_runtime=100.0)
+
+
+def test_remote_fraction_increases_slowdown(cluster):
+    """Below lender-bandwidth saturation the slowdown is sens * rf."""
+    model = ContentionModel([MID_SENS])
+    job = run_with_remote(cluster, 1, 0, 30000, 10000)  # rf = 0.25
+    jobs = {1: job}
+    s = model.slowdown(job, cluster, jobs)
+    # 10 GB/s * 0.25 = 2.5 GB/s on the lender: no oversubscription.
+    assert s == pytest.approx(1.0 + 0.6 * 0.25)
+
+
+def test_higher_sensitivity_slower(cluster):
+    model = ContentionModel([LOW_SENS, HIGH_SENS])
+    j_low = run_with_remote(cluster, 1, 0, 30000, 10000, node=0, lender=7)
+    j_high = run_with_remote(cluster, 2, 1, 30000, 10000, node=1, lender=6)
+    jobs = {1: j_low, 2: j_high}
+    assert model.slowdown(j_high, cluster, jobs) > model.slowdown(j_low, cluster, jobs)
+
+
+def test_contention_from_shared_lender(cluster):
+    """Oversubscribing a lender's bandwidth adds a contention penalty."""
+    model = ContentionModel([HIGH_SENS], node_bw_gbps=100.0)
+    j1 = run_with_remote(cluster, 1, 0, 30000, 30000, node=0, lender=7)
+    solo = model.slowdown(j1, cluster, {1: j1})
+    j2 = run_with_remote(cluster, 2, 0, 30000, 30000, node=1, lender=7)
+    shared = model.slowdown(j1, cluster, {1: j1, 2: j2})
+    assert shared > solo
+
+
+def test_slowdown_capped(cluster):
+    crazy = AppProfile("crazy", 1e6, 10.0, 10.0, 1.0, 1, 1.0)
+    model = ContentionModel([crazy], node_bw_gbps=1.0)
+    job = run_with_remote(cluster, 1, 0, 1000, 60000)
+    assert model.slowdown(job, cluster, {1: job}) == MAX_SLOWDOWN
+
+
+def test_affected_jobs_covers_borrowers_and_hosts(cluster):
+    model = ContentionModel([LOW_SENS])
+    job = run_with_remote(cluster, 1, 0, 30000, 10000, node=0, lender=7)
+    assert model.affected_jobs(cluster, [7]) == {1}
+    assert model.affected_jobs(cluster, [0]) == {1}
+    assert model.affected_jobs(cluster, [3]) == set()
+
+
+def test_osub_cache_consistency(cluster):
+    model = ContentionModel([HIGH_SENS], node_bw_gbps=10.0)
+    j1 = run_with_remote(cluster, 1, 0, 30000, 30000, node=0, lender=7)
+    j2 = run_with_remote(cluster, 2, 0, 30000, 30000, node=1, lender=7)
+    jobs = {1: j1, 2: j2}
+    cache = {}
+    s_cached = model.slowdown(j1, cluster, jobs, osub_cache=cache)
+    assert 7 in cache
+    assert model.slowdown(j1, cluster, jobs) == pytest.approx(s_cached)
+
+
+def test_null_model(cluster):
+    model = NullContentionModel()
+    job = run_with_remote(cluster, 1, 0, 1000, 50000)
+    assert model.slowdown(job, cluster, {1: job}) == 1.0
+    assert model.affected_jobs(cluster, [7]) == set()
+
+
+def test_invalid_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        ContentionModel([LOW_SENS], node_bw_gbps=0.0)

@@ -1,0 +1,47 @@
+"""Application profile pool and matching."""
+
+import pytest
+
+from repro.slowdown.profiles import (
+    DEFAULT_PROFILES,
+    match_profile,
+    profile_pool,
+)
+
+
+def test_default_pool_spans_behaviours():
+    bw = [p.bw_demand_gbps for p in DEFAULT_PROFILES]
+    sens = [p.remote_sensitivity for p in DEFAULT_PROFILES]
+    assert min(bw) < 5 and max(bw) > 40  # compute-bound to bandwidth-bound
+    assert min(sens) < 0.1 and max(sens) > 0.4
+
+
+def test_profile_pool_truncates():
+    pool = profile_pool(4)
+    assert pool == DEFAULT_PROFILES[:4]
+
+
+def test_profile_pool_extends_deterministically():
+    a = profile_pool(30, seed=5)
+    b = profile_pool(30, seed=5)
+    assert len(a) == 30
+    assert [p.name for p in a] == [p.name for p in b]
+    # Extended variants stay within sane ranges.
+    assert all(0 < p.remote_sensitivity <= 0.9 for p in a)
+    assert all(p.typical_nodes >= 1 for p in a)
+
+
+def test_match_profile_prefers_similar_geometry():
+    pool = DEFAULT_PROFILES
+    # A 512-node, 12-hour job should match the climate profile.
+    idx = match_profile(pool, n_nodes=512, runtime=43200.0)
+    assert pool[idx].name == "climate-atm"
+    # A 4-node, 15-minute job should match the stream-like profile.
+    idx = match_profile(pool, n_nodes=4, runtime=900.0)
+    assert pool[idx].name == "stream-like"
+
+
+def test_match_profile_handles_extremes():
+    pool = DEFAULT_PROFILES
+    assert 0 <= match_profile(pool, 1, 1.0) < len(pool)
+    assert 0 <= match_profile(pool, 100000, 1e7) < len(pool)

@@ -1,0 +1,149 @@
+"""Topology-aware lending and the distance term of the slowdown model
+(extensions beyond the paper, DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.memorypool import MOST_FREE, NEAREST, MemoryPool
+from repro.core.config import SystemConfig
+from repro.slowdown.model import ContentionModel
+from repro.slowdown.profiles import AppProfile
+
+from conftest import make_job
+
+PROFILE = AppProfile("p", bw_demand_gbps=5.0, remote_sensitivity=0.5,
+                     contention_sensitivity=0.0, read_write_ratio=1.0,
+                     typical_nodes=1, typical_runtime=100.0)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(SystemConfig(n_nodes=27, normal_mem_gb=64,
+                                frac_large_nodes=0.0))
+
+
+def test_distance_row_matches_scalar(cluster):
+    row = cluster.distance_row(0)
+    torus = cluster.torus
+    for other in range(cluster.n_nodes):
+        assert row[other] == torus.hop_distance(0, other)
+    assert row[0] == 0
+
+
+def test_distance_rows_cached(cluster):
+    a = cluster.distance_row(5)
+    b = cluster.distance_row(5)
+    assert a is b
+
+
+def test_nearest_strategy_prefers_close_lenders(cluster):
+    pool = MemoryPool(cluster, strategy=NEAREST)
+    plan = pool.plan_borrow(1000, exclude=[0], near=0)
+    lender = plan[0][0]
+    row = cluster.distance_row(0)
+    # The chosen lender is at the minimum feasible distance.
+    assert row[lender] == row[np.arange(1, cluster.n_nodes)].min()
+
+
+def test_nearest_without_anchor_falls_back(cluster):
+    pool = MemoryPool(cluster, strategy=NEAREST)
+    assert pool.plan_borrow(1000) is not None
+
+
+def test_nearest_split_borrow_feasibility(cluster):
+    pool = MemoryPool(cluster, strategy=NEAREST)
+    cap = 64 * 1024
+    plans = pool.split_borrow({0: cap, 13: cap})
+    assert plans is not None
+    for node, plan in plans.items():
+        assert sum(mb for _, mb in plan) == cap
+        assert all(lender != node for lender, _ in plan)
+
+
+def test_nearest_split_infeasible(cluster):
+    pool = MemoryPool(cluster, strategy=NEAREST)
+    assert pool.split_borrow({0: 10**9}) is None
+
+
+def test_nearest_mean_distance_not_worse(cluster):
+    """Nearest-first yields closer placements than most-free-first."""
+    amount = 3 * 64 * 1024  # spans several lenders
+
+    def mean_distance(strategy):
+        pool = MemoryPool(cluster, strategy=strategy)
+        plan = pool.plan_borrow(amount, exclude=[0], near=0)
+        row = cluster.distance_row(0)
+        mb = sum(m for _, m in plan)
+        return sum(row[l] * m for l, m in plan) / mb
+
+    assert mean_distance(NEAREST) <= mean_distance(MOST_FREE)
+
+
+# ----------------------------------------------------------------------
+# Distance term in the slowdown model
+# ----------------------------------------------------------------------
+def borrow_from(cluster, jid, lender, mb=10000, node=0):
+    alloc = JobAllocation(nodes=[node], local_mb={node: 10000},
+                          remote_mb={node: {lender: mb}})
+    cluster.apply(jid, alloc)
+    return make_job(jid=jid, request_mb=20000, profile=0)
+
+
+def test_distance_penalty_zero_is_paper_model(cluster):
+    base = ContentionModel([PROFILE])
+    job = borrow_from(cluster, 1, lender=1)
+    s = base.slowdown(job, cluster, {1: job})
+    assert s == pytest.approx(1.0 + 0.5 * 0.5)
+
+
+def test_distance_penalty_orders_by_distance(cluster):
+    model = ContentionModel([PROFILE], distance_penalty=1.0)
+    row0 = cluster.distance_row(0)
+    row1 = cluster.distance_row(1)
+    near_lender = int(np.argsort(row0)[1])  # adjacent to node 0
+    far_lender = int(np.argmax(row1))  # farthest from node 1
+    assert far_lender != 1
+    assert row1[far_lender] > row0[near_lender]
+
+    j_near = borrow_from(cluster, 1, lender=near_lender, node=0)
+    s_near = model.slowdown(j_near, cluster, {1: j_near})
+    j_far = borrow_from(cluster, 2, lender=far_lender, node=1)
+    s_far = model.slowdown(j_far, cluster, {1: j_near, 2: j_far})
+    assert s_far > s_near
+
+
+def test_distance_factor_floor():
+    cluster = Cluster(SystemConfig(n_nodes=64, normal_mem_gb=64,
+                                   frac_large_nodes=0.0))
+    model = ContentionModel([PROFILE], distance_penalty=10.0)
+    row = cluster.distance_row(0)
+    nearest = int(np.argsort(row)[1])
+    job = borrow_from(cluster, 1, lender=nearest)
+    s = model.slowdown(job, cluster, {1: job})
+    # Factor floored at 0.5: slowdown stays >= 1 + sens*rf*0.5.
+    assert s >= 1.0 + 0.5 * 0.5 * 0.5 - 1e-9
+
+
+def test_distance_penalty_validation():
+    with pytest.raises(ValueError):
+        ContentionModel([PROFILE], distance_penalty=-1.0)
+
+
+def test_end_to_end_nearest_with_distance_model(cluster):
+    """Simulation runs with the extension pair enabled."""
+    from repro.policies.dynamic import DynamicDisaggregatedPolicy
+    from repro.scheduler.simulator import simulate
+    from repro.traces.pipeline import synthetic_workload
+
+    wl = synthetic_workload(n_jobs=60, frac_large=0.5, overestimation=0.6,
+                            n_system_nodes=27, seed=8)
+    cfg = SystemConfig(n_nodes=27, normal_mem_gb=64, large_mem_gb=128,
+                       frac_large_nodes=0.25)
+    cluster2 = Cluster(cfg)
+    policy = DynamicDisaggregatedPolicy(cluster2)
+    policy.pool = MemoryPool(cluster2, strategy=NEAREST)
+    model = ContentionModel(wl.profiles, distance_penalty=0.5)
+    res = simulate(wl.fresh_jobs(), cfg, policy=policy, model=model)
+    assert res.n_completed + res.n_unrunnable == 60

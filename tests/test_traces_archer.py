@@ -1,0 +1,81 @@
+"""Memory-demand distributions (Table 2/3 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import MB_PER_GB
+from repro.traces.archer import (
+    ARCHER_ALL,
+    DISTRIBUTIONS,
+    LARGE_MEMORY_THRESHOLD_MB,
+    MEMORY_BINS_GB,
+    MemoryDistribution,
+    sample_large_memory_peak,
+    sample_normal_memory_peak,
+    sample_peak_memory,
+)
+
+
+def test_published_distributions_sum_to_100():
+    for dist in DISTRIBUTIONS.values():
+        assert sum(dist.percent) == pytest.approx(100.0, abs=1.0)
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        MemoryDistribution(tuple(MEMORY_BINS_GB), (50.0, 10.0))
+    with pytest.raises(ValueError):
+        MemoryDistribution(tuple(MEMORY_BINS_GB), (10.0,) * 5)  # sums to 50
+
+
+def test_sampling_matches_bins(rng):
+    dist = DISTRIBUTIONS[("archer", "all")]
+    samples = dist.sample_mb(rng, 40000)
+    measured = dist.binned_percentages(samples)
+    for got, want in zip(measured, ARCHER_ALL):
+        assert got == pytest.approx(want, abs=1.5)
+
+
+def test_samples_within_range(rng):
+    dist = DISTRIBUTIONS[("grizzly", "large")]
+    samples = dist.sample_mb(rng, 5000)
+    assert samples.min() >= 128
+    assert samples.max() <= 128 * MB_PER_GB
+
+
+def test_binned_percentages_empty():
+    dist = DISTRIBUTIONS[("archer", "all")]
+    assert dist.binned_percentages([]).sum() == 0
+
+
+def test_sample_peak_memory_by_size_class(rng):
+    sizes = np.array([1] * 2000 + [64] * 2000)
+    peaks = sample_peak_memory(rng, sizes, dataset="archer")
+    small = peaks[:2000] / MB_PER_GB
+    large = peaks[2000:] / MB_PER_GB
+    # Large jobs use more memory on average (Table 2 shape).
+    assert large.mean() > small.mean()
+
+
+def test_normal_memory_peak_quartiles(rng):
+    """Table 3: median ~8 GB, Q3 ~15 GB, max <= 64 GB."""
+    vals = sample_normal_memory_peak(rng, 50000)
+    assert vals.max() <= 65532
+    assert np.median(vals) == pytest.approx(8089, rel=0.15)
+    assert np.quantile(vals, 0.75) == pytest.approx(15341, rel=0.2)
+    assert (vals < LARGE_MEMORY_THRESHOLD_MB).all()
+
+
+def test_large_memory_peak_quartiles(rng):
+    """Table 3: quartiles ~76/87/100 GB, clipped to [64 GB, 127 GB]."""
+    vals = sample_large_memory_peak(rng, 50000)
+    assert vals.min() >= 65538
+    assert vals.max() <= 130046
+    assert np.median(vals) == pytest.approx(86961, rel=0.05)
+    assert np.quantile(vals, 0.25) == pytest.approx(76176, rel=0.05)
+    assert np.quantile(vals, 0.75) == pytest.approx(99956, rel=0.05)
+    assert (vals > LARGE_MEMORY_THRESHOLD_MB).all()
+
+
+def test_threshold_is_64gb():
+    assert LARGE_MEMORY_THRESHOLD_MB == 64 * 1024

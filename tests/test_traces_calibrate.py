@@ -1,0 +1,101 @@
+"""Distribution calibration from summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.calibrate import (
+    QuartileFit,
+    fit_lognormal,
+    fit_normal,
+    lognormal_from_quartiles,
+    normal_from_quartiles,
+    quartile_error,
+)
+
+
+def test_lognormal_params_recover_quartiles(rng):
+    mu, sigma = lognormal_from_quartiles(median=8000.0, q3=15000.0)
+    samples = rng.lognormal(mu, sigma, 200_000)
+    assert np.median(samples) == pytest.approx(8000.0, rel=0.02)
+    assert np.quantile(samples, 0.75) == pytest.approx(15000.0, rel=0.02)
+
+
+def test_normal_params_recover_quartiles(rng):
+    mu, sigma = normal_from_quartiles(76000.0, 87000.0, 100000.0)
+    samples = rng.normal(mu, sigma, 200_000)
+    assert np.median(samples) == pytest.approx(87000.0, rel=0.01)
+    iqr = np.quantile(samples, 0.75) - np.quantile(samples, 0.25)
+    assert iqr == pytest.approx(100000.0 - 76000.0, rel=0.02)
+
+
+def test_lognormal_validation():
+    with pytest.raises(ValueError):
+        lognormal_from_quartiles(0.0, 10.0)
+    with pytest.raises(ValueError):
+        lognormal_from_quartiles(10.0, 5.0)
+
+
+def test_normal_validation():
+    with pytest.raises(ValueError):
+        normal_from_quartiles(3.0, 2.0, 4.0)
+
+
+def test_fit_sample_respects_bounds(rng):
+    fit = fit_lognormal(median=8000.0, q3=15000.0, lo=128.0, hi=65532.0)
+    samples = fit.sample(rng, 50_000)
+    assert samples.min() >= 128.0
+    assert samples.max() <= 65532.0
+
+
+def test_fit_normal_bounds(rng):
+    fit = fit_normal(76176.0, 86961.0, 99956.0, lo=65538.0, hi=130046.0)
+    samples = fit.sample_int(rng, 50_000)
+    assert samples.min() >= 65538
+    assert samples.max() <= 130046
+    assert samples.dtype == np.int64
+
+
+def test_unknown_family_rejected(rng):
+    fit = QuartileFit("weibull", 0.0, 1.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        fit.sample(rng, 10)
+
+
+def test_no_truncation_spike(rng):
+    """The lognormal fold-back avoids piling mass exactly at the cap."""
+    fit = fit_lognormal(median=50000.0, q3=64000.0, lo=128.0, hi=65532.0)
+    samples = fit.sample(rng, 50_000)
+    at_cap = np.mean(samples >= 65531.0)
+    assert at_cap < 0.01
+
+
+def test_quartile_error(rng):
+    fit = fit_lognormal(median=8000.0, q3=15000.0, lo=1.0, hi=1e9)
+    samples = fit.sample(rng, 100_000)
+    err = quartile_error(samples, (samples.min(), 8000.0, 15000.0))
+    # Only checking the helper mechanics; min as Q1 target gives a big
+    # error while median/Q3 are close.
+    assert err >= 0
+    tight = quartile_error(
+        samples,
+        tuple(np.quantile(samples, [0.25, 0.5, 0.75])),
+    )
+    assert tight == pytest.approx(0.0, abs=1e-12)
+
+
+def test_quartile_error_validates():
+    with pytest.raises(ValueError):
+        quartile_error(np.array([1.0, 2.0]), (0.0, 1.0, 2.0))
+
+
+def test_archer_samplers_still_calibrated(rng):
+    """The refactor preserves the Table 3 calibration."""
+    from repro.traces.archer import (
+        sample_large_memory_peak,
+        sample_normal_memory_peak,
+    )
+
+    normal = sample_normal_memory_peak(rng, 50_000)
+    assert quartile_error(normal, (4037.0, 8089.0, 15341.0)) < 0.25
+    large = sample_large_memory_peak(rng, 50_000)
+    assert quartile_error(large, (76176.0, 86961.0, 99956.0)) < 0.05

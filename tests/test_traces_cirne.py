@@ -1,0 +1,102 @@
+"""CIRNE comprehensive workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.units import DAY
+from repro.traces.cirne import CirneJob, CirneParams, generate
+
+
+def test_generates_requested_count():
+    jobs = generate(200, n_system_nodes=128, seed=1)
+    assert len(jobs) == 200
+    assert all(isinstance(j, CirneJob) for j in jobs)
+
+
+def test_arrivals_sorted_and_positive():
+    jobs = generate(500, n_system_nodes=128, seed=2)
+    arrivals = [j.arrival for j in jobs]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[0] >= 0
+
+
+def test_sizes_within_bounds():
+    jobs = generate(1000, n_system_nodes=256, seed=3,
+                    params=CirneParams(max_nodes=32))
+    sizes = np.array([j.n_nodes for j in jobs])
+    assert sizes.min() >= 1 and sizes.max() <= 32
+
+
+def test_serial_fraction_respected():
+    params = CirneParams(max_nodes=64, serial_fraction=0.5)
+    jobs = generate(4000, n_system_nodes=128, params=params, seed=4)
+    frac = np.mean([j.n_nodes == 1 for j in jobs])
+    assert frac == pytest.approx(0.5, abs=0.05)
+
+
+def test_power_of_two_bias():
+    jobs = generate(4000, n_system_nodes=256, seed=5)
+    parallel = [j.n_nodes for j in jobs if j.n_nodes > 1]
+    pow2 = np.mean([(n & (n - 1)) == 0 for n in parallel])
+    assert pow2 > 0.6
+
+
+def test_estimates_at_least_runtime():
+    jobs = generate(500, n_system_nodes=128, seed=6)
+    assert all(j.estimate >= j.runtime for j in jobs)
+
+
+def test_runtimes_clipped():
+    params = CirneParams(min_runtime_s=120.0, max_runtime_s=DAY)
+    jobs = generate(2000, n_system_nodes=128, params=params, seed=7)
+    rts = np.array([j.runtime for j in jobs])
+    assert rts.min() >= 120.0 and rts.max() <= DAY
+
+
+def test_load_targeting():
+    """Offered load over the submission window matches the target."""
+    target = 0.7
+    n_nodes = 128
+    jobs = generate(2000, n_system_nodes=n_nodes, target_utilization=target,
+                    seed=8)
+    work = sum(j.n_nodes * j.runtime for j in jobs)
+    span = max(j.arrival for j in jobs)
+    offered = work / (n_nodes * span)
+    assert offered == pytest.approx(target, rel=0.1)
+
+
+def test_daily_cycle_shapes_arrivals():
+    """Office hours receive more submissions than the small hours."""
+    jobs = generate(8000, n_system_nodes=64, seed=9)
+    hours = np.array([int((j.arrival % DAY) // 3600) for j in jobs])
+    day = np.mean((hours >= 9) & (hours < 17))
+    night = np.mean(hours < 6)
+    assert day > night
+
+
+def test_max_nodes_clamped_to_system():
+    jobs = generate(200, n_system_nodes=16, seed=10,
+                    params=CirneParams(max_nodes=1024))
+    assert max(j.n_nodes for j in jobs) <= 16
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        generate(0, n_system_nodes=16)
+    with pytest.raises(TraceError):
+        generate(10, n_system_nodes=16, target_utilization=0.0)
+    with pytest.raises(TraceError):
+        CirneParams(max_nodes=0)
+    with pytest.raises(TraceError):
+        CirneParams(serial_fraction=2.0)
+    with pytest.raises(TraceError):
+        CirneParams(daily_cycle=(1, 2, 3))
+
+
+def test_deterministic():
+    a = generate(50, n_system_nodes=32, seed=11)
+    b = generate(50, n_system_nodes=32, seed=11)
+    assert [(j.arrival, j.n_nodes, j.runtime) for j in a] == [
+        (j.arrival, j.n_nodes, j.runtime) for j in b
+    ]

@@ -1,0 +1,88 @@
+"""Google Borg-like trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.traces.google import (
+    DENORM_CAPACITY_MB,
+    WINDOW_S,
+    EndStatus,
+    Tier,
+    filter_batch,
+    generate,
+)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return generate(800, seed=1)
+
+
+def test_generates_count(jobs):
+    assert len(jobs) == 800
+
+
+def test_window_count_covers_runtime(jobs):
+    for j in jobs[:50]:
+        assert len(j.max_usage) == int(np.ceil(j.runtime / WINDOW_S))
+
+
+def test_usage_normalised(jobs):
+    for j in jobs[:50]:
+        assert (j.max_usage >= 0).all()
+        assert (j.max_usage <= 1.0).all()
+        assert (j.avg_usage <= j.max_usage + 1e-12).all()
+
+
+def test_tier_mix_has_batch_majority(jobs):
+    """Cell b has the largest proportion of batch jobs [40]."""
+    batch = sum(1 for j in jobs if j.tier is Tier.BEST_EFFORT_BATCH)
+    assert batch / len(jobs) > 0.4
+
+
+def test_filter_batch_criteria(jobs):
+    donors = filter_batch(jobs)
+    assert donors  # plenty survive
+    for d in donors:
+        assert d.tier is Tier.BEST_EFFORT_BATCH
+        assert d.scheduling_class <= 1
+        assert d.end_status is EndStatus.FINISH
+    assert len(donors) < len(jobs)
+
+
+def test_peak_memory_denormalised(jobs):
+    j = jobs[0]
+    assert j.peak_memory_mb == int(round(float(j.max_usage.max()) * DENORM_CAPACITY_MB))
+
+
+def test_usage_trace_uses_window_maxima(jobs):
+    j = next(x for x in jobs if len(x.max_usage) >= 3)
+    trace = j.usage_trace()
+    # The trace value over window k equals the window's max.
+    for k in (0, 1, 2):
+        t = k * WINDOW_S + 1.0
+        expected = int(round(float(j.max_usage[k]) * DENORM_CAPACITY_MB))
+        assert trace.usage_at(t) == expected
+
+
+def test_usage_trace_empty_rejected(jobs):
+    j = jobs[0]
+    j2 = type(j)(job_id=-1, tier=j.tier, scheduling_class=0, n_tasks=1,
+                 runtime=100.0, end_status=j.end_status,
+                 avg_usage=np.array([]), max_usage=np.array([]))
+    with pytest.raises(TraceError):
+        j2.usage_trace()
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        generate(0)
+
+
+def test_deterministic():
+    a = generate(50, seed=9)
+    b = generate(50, seed=9)
+    assert all(
+        np.array_equal(x.max_usage, y.max_usage) for x, y in zip(a, b)
+    )

@@ -1,0 +1,61 @@
+"""Euclidean-distance matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.traces.matching import log_features, match_nearest, normalise_features
+
+
+def test_normalise_zscore():
+    pool = np.array([[0.0, 10.0], [2.0, 20.0], [4.0, 30.0]])
+    p, q = normalise_features(pool, pool)
+    assert p.mean(axis=0) == pytest.approx([0.0, 0.0], abs=1e-12)
+    assert p.std(axis=0) == pytest.approx([1.0, 1.0])
+
+
+def test_normalise_constant_column_safe():
+    pool = np.array([[1.0, 5.0], [1.0, 7.0]])
+    p, _ = normalise_features(pool, pool)
+    assert np.isfinite(p).all()
+
+
+def test_normalise_shape_mismatch():
+    with pytest.raises(TraceError):
+        normalise_features(np.zeros((3, 2)), np.zeros((3, 3)))
+
+
+def test_match_exact_points():
+    pool = np.array([[1.0, 1.0], [5.0, 5.0], [9.0, 1.0]])
+    idx = match_nearest(pool, pool)
+    assert list(idx) == [0, 1, 2]
+
+
+def test_match_nearest_neighbour():
+    pool = np.array([[0.0, 0.0], [10.0, 10.0]])
+    queries = np.array([[1.0, 1.0], [9.0, 9.0]])
+    idx = match_nearest(pool, queries)
+    assert list(idx) == [0, 1]
+
+
+def test_match_empty_pool_rejected():
+    with pytest.raises(TraceError):
+        match_nearest(np.zeros((0, 2)), np.zeros((1, 2)))
+
+
+def test_log_features_stacks_columns():
+    f = log_features([1, 3], [9, 99])
+    assert f.shape == (2, 2)
+    assert f[0, 0] == pytest.approx(np.log1p(1))
+    assert f[1, 1] == pytest.approx(np.log1p(99))
+
+
+def test_matching_is_scale_insensitive():
+    """Without normalisation the runtime axis would dominate."""
+    # Pool: (size, runtime): one small-short, one large-long.
+    pool = log_features([1, 128], [60, 86400])
+    # Query: small job with a long runtime - nearer the small profile in
+    # normalised space than raw distance would suggest.
+    q = log_features([2], [3600])
+    idx = match_nearest(pool, q)
+    assert idx[0] == 0

@@ -1,0 +1,89 @@
+"""Ramer–Douglas–Peucker simplification."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.traces.rdp import rdp, rdp_indices
+
+
+def test_endpoints_always_kept():
+    pts = np.array([[0, 0], [1, 5], [2, 0], [3, 5], [4, 0]], dtype=float)
+    keep = rdp_indices(pts, epsilon=0.1)
+    assert keep[0] == 0 and keep[-1] == len(pts) - 1
+
+
+def test_collinear_points_dropped():
+    pts = np.column_stack([np.arange(10.0), 2 * np.arange(10.0)])
+    out = rdp(pts, epsilon=0.01)
+    assert len(out) == 2
+    assert np.array_equal(out[0], pts[0]) and np.array_equal(out[-1], pts[-1])
+
+
+def test_spike_preserved():
+    pts = np.array([[0, 0], [1, 0], [2, 100], [3, 0], [4, 0]], dtype=float)
+    out = rdp(pts, epsilon=5)
+    assert [2.0, 100.0] in out.tolist()
+
+
+def test_epsilon_zero_keeps_noncollinear():
+    rng = np.random.default_rng(0)
+    pts = np.column_stack([np.arange(50.0), rng.random(50) * 10])
+    out = rdp(pts, epsilon=0.0)
+    assert len(out) == 50
+
+
+def test_larger_epsilon_keeps_fewer():
+    rng = np.random.default_rng(1)
+    pts = np.column_stack([np.arange(200.0), np.cumsum(rng.normal(size=200))])
+    n1 = len(rdp(pts, epsilon=0.5))
+    n2 = len(rdp(pts, epsilon=2.0))
+    n3 = len(rdp(pts, epsilon=10.0))
+    assert n1 >= n2 >= n3 >= 2
+
+
+def test_distance_bound_holds():
+    """Every dropped point lies within epsilon of the kept polyline."""
+    rng = np.random.default_rng(2)
+    pts = np.column_stack([np.arange(100.0), np.cumsum(rng.normal(size=100))])
+    eps = 1.5
+    keep = rdp_indices(pts, eps)
+    kept = pts[keep]
+    for i, p in enumerate(pts):
+        # distance to the polyline = min over segments
+        dmin = np.inf
+        for a, b in zip(kept[:-1], kept[1:]):
+            seg = b - a
+            t = np.clip(np.dot(p - a, seg) / np.dot(seg, seg), 0, 1)
+            proj = a + t * seg
+            dmin = min(dmin, np.hypot(*(p - proj)))
+        assert dmin <= eps + 1e-9
+
+
+def test_short_inputs_passthrough():
+    one = np.array([[1.0, 2.0]])
+    two = np.array([[0.0, 0.0], [1.0, 1.0]])
+    assert len(rdp(one, 1.0)) == 1
+    assert len(rdp(two, 1.0)) == 2
+
+
+def test_duplicate_points_handled():
+    pts = np.array([[0, 0], [0, 0], [0, 0]], dtype=float)
+    out = rdp(pts, epsilon=0.5)
+    assert len(out) >= 2
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        rdp_indices(np.zeros((3, 3)), 1.0)
+    with pytest.raises(TraceError):
+        rdp_indices(np.zeros((3, 2)), -1.0)
+
+
+def test_deep_recursion_safe():
+    """The iterative implementation survives pathological inputs."""
+    n = 20000
+    rng = np.random.default_rng(3)
+    pts = np.column_stack([np.arange(float(n)), rng.random(n)])
+    out = rdp(pts, epsilon=0.25)
+    assert 2 <= len(out) <= n

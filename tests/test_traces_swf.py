@@ -1,0 +1,122 @@
+"""Standard Workload Format I/O."""
+
+import io
+
+import pytest
+
+from repro.core.errors import TraceError
+from repro.traces.swf import SWFRecord, SWFTrace
+
+
+def test_record_roundtrip_line():
+    rec = SWFRecord(job_id=7, submit_time=100.0, run_time=3600.0,
+                    used_procs=64, req_procs=64, req_time=7200.0,
+                    req_memory_kb=2048.0, status=1)
+    parsed = SWFRecord.from_line(rec.to_line())
+    assert parsed == rec
+
+
+def test_line_has_18_fields():
+    rec = SWFRecord(job_id=1, submit_time=0.0)
+    assert len(rec.to_line().split()) == 18
+
+
+def test_unknown_fields_serialise_as_minus_one():
+    rec = SWFRecord(job_id=1, submit_time=0.0)
+    fields = rec.to_line().split()
+    assert fields[2] == "-1"  # wait time unknown
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(TraceError):
+        SWFRecord.from_line("1 2 3")
+
+
+def test_trace_roundtrip_via_stream():
+    trace = SWFTrace()
+    trace.header["MaxNodes"] = "1024"
+    trace.header["Note"] = "synthetic"
+    for i in range(5):
+        trace.records.append(SWFRecord(job_id=i, submit_time=float(i * 60),
+                                       run_time=100.0, req_procs=32))
+    buf = io.StringIO()
+    trace.write(buf)
+    buf.seek(0)
+    back = SWFTrace.read(buf)
+    assert back.header["MaxNodes"] == "1024"
+    assert len(back) == 5
+    assert back.records[3].submit_time == 180.0
+
+
+def test_trace_roundtrip_via_file(tmp_path):
+    trace = SWFTrace(records=[SWFRecord(job_id=1, submit_time=0.0)])
+    path = tmp_path / "out.swf"
+    trace.write(path)
+    back = SWFTrace.read(path)
+    assert len(back) == 1
+
+
+def test_blank_lines_and_comments_skipped():
+    text = "; Comment: hello\n\n; Another one\n" + SWFRecord(
+        job_id=1, submit_time=5.0
+    ).to_line() + "\n"
+    back = SWFTrace.read(io.StringIO(text))
+    assert len(back) == 1
+    assert back.header["Comment"] == "hello"
+
+
+def test_workload_swf_roundtrip(shared_workload):
+    """Export then import: geometry and requests survive; usage
+    degenerates to flat-at-peak (SWF has no usage timeline)."""
+    from repro.traces.workload import Workload
+
+    trace = shared_workload.to_swf()
+    back = Workload.from_swf(trace, profiles=shared_workload.profiles)
+    assert len(back) == len(shared_workload)
+    orig = {j.jid: j for j in shared_workload.jobs}
+    for j in back.jobs:
+        o = orig[j.jid]
+        assert j.n_nodes == o.n_nodes
+        assert j.base_runtime == o.base_runtime
+        assert j.mem_request_mb == pytest.approx(o.mem_request_mb, abs=1)
+        assert j.usage.peak() == pytest.approx(o.usage.peak(), abs=1)
+        assert len(j.usage) == 1  # flat
+
+
+def test_from_swf_skips_malformed():
+    from repro.traces.workload import Workload
+
+    trace = SWFTrace(records=[
+        SWFRecord(job_id=1, submit_time=0.0, run_time=100.0, req_procs=32,
+                  req_memory_kb=1024.0),
+        SWFRecord(job_id=2, submit_time=0.0, run_time=-1),  # no geometry
+        SWFRecord(job_id=3, submit_time=0.0, run_time=50.0, req_procs=32,
+                  req_memory_kb=-1, used_memory_kb=-1),  # no memory info
+    ])
+    wl = Workload.from_swf(trace)
+    assert [j.jid for j in wl.jobs] == [1]
+
+
+def test_from_swf_simulates(tmp_path, shared_workload, tiny_config):
+    from repro.scheduler.simulator import simulate
+    from repro.traces.workload import Workload
+
+    path = tmp_path / "t.swf"
+    shared_workload.to_swf().write(path)
+    wl = Workload.from_swf(SWFTrace.read(path))
+    small = Workload(jobs=[j for j in wl.jobs if j.n_nodes <= 4][:40],
+                     profiles=wl.profiles)
+    res = simulate(small.fresh_jobs(), tiny_config, policy="static",
+                   profiles=small.profiles)
+    assert res.n_completed + res.n_unrunnable == len(small)
+
+
+def test_workload_export(shared_workload):
+    trace = shared_workload.to_swf()
+    assert len(trace) == len(shared_workload)
+    rec = trace.records[0]
+    job = shared_workload.jobs[0]
+    assert rec.submit_time == job.submit_time
+    assert rec.req_procs == job.n_nodes * 32
+    # Memory roundtrip: KB/proc * procs/node = MB/node * 1024
+    assert rec.req_memory_kb * 32 == pytest.approx(job.mem_request_mb * 1024)

@@ -1,0 +1,92 @@
+"""Workload container: characterisation and overestimation sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.jobs.states import JobState
+from repro.traces.archer import LARGE_MEMORY_THRESHOLD_MB
+from repro.traces.workload import SIZE_BIN_LABELS, Workload
+
+
+def test_fresh_jobs_are_independent(shared_workload):
+    a = shared_workload.fresh_jobs()
+    b = shared_workload.fresh_jobs()
+    a[0].work_done = 99.0
+    a[0].set_state(JobState.RUNNING)
+    assert b[0].work_done == 0.0
+    assert b[0].state is JobState.PENDING
+    # Usage traces are shared (immutable).
+    assert a[0].usage is b[0].usage
+
+
+def test_with_overestimation_scales_requests(shared_workload):
+    swept = shared_workload.with_overestimation(0.6)
+    for orig, new in zip(shared_workload.jobs, swept.jobs):
+        assert new.mem_request_mb == int(round(orig.usage.peak() * 1.6))
+        assert new.usage.peak() == orig.usage.peak()  # usage untouched
+    assert swept.meta["overestimation"] == 0.6
+
+
+def test_with_overestimation_zero_is_peak(shared_workload):
+    swept = shared_workload.with_overestimation(0.0)
+    for job in swept.jobs:
+        assert job.mem_request_mb == job.usage.peak()
+
+
+def test_with_overestimation_negative_rejected(shared_workload):
+    with pytest.raises(ValueError):
+        shared_workload.with_overestimation(-0.1)
+
+
+def test_frac_large_memory(shared_workload):
+    frac = shared_workload.frac_large_memory()
+    n = sum(
+        1
+        for j in shared_workload.jobs
+        if j.mem_request_mb > LARGE_MEMORY_THRESHOLD_MB
+    )
+    assert frac == n / len(shared_workload)
+
+
+def test_memory_class_stats_structure(shared_workload):
+    stats = shared_workload.memory_class_stats()
+    for klass in ("normal", "large"):
+        for metric in ("memory_mb", "node_hours"):
+            q = stats[klass][metric]
+            assert len(q) == 5
+            finite = [v for v in q if v == v]
+            assert finite == sorted(finite)  # quartiles are ordered
+
+
+def test_memory_class_stats_respects_threshold(shared_workload):
+    stats = shared_workload.memory_class_stats()
+    assert stats["normal"]["memory_mb"][4] <= LARGE_MEMORY_THRESHOLD_MB
+    if stats["large"]["memory_mb"][0] == stats["large"]["memory_mb"][0]:
+        assert stats["large"]["memory_mb"][0] > LARGE_MEMORY_THRESHOLD_MB
+
+
+def test_memory_heatmap_sums_to_100(shared_workload):
+    for which in ("avg", "max"):
+        grid = shared_workload.memory_heatmap(which)
+        assert grid.shape == (5, len(SIZE_BIN_LABELS))
+        assert grid.sum() == pytest.approx(100.0)
+
+
+def test_heatmap_avg_mass_below_max(shared_workload):
+    """Average usage sits in lower memory bins than maximum usage."""
+    avg = shared_workload.memory_heatmap("avg")
+    mx = shared_workload.memory_heatmap("max")
+    # Compare mass-weighted mean memory-bin index.
+    bins = np.arange(5)[:, None]
+    assert (avg * bins).sum() <= (mx * bins).sum()
+
+
+def test_heatmap_invalid_metric(shared_workload):
+    with pytest.raises(ValueError):
+        shared_workload.memory_heatmap("median")
+
+
+def test_empty_workload():
+    wl = Workload(jobs=[], profiles=[])
+    assert wl.frac_large_memory() == 0.0
+    assert wl.memory_heatmap().sum() == 0.0
