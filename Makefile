@@ -1,0 +1,26 @@
+# Convenience targets mirroring what CI runs.
+#
+#   make lint   — custom simulation-correctness linter + ruff (if installed)
+#   make test   — tier-1 test suite (includes the lint self-check)
+#   make check  — both
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint lint-json test check
+
+lint:
+	$(PYTHON) -m repro.cli lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipped generic lint (see pyproject.toml)"; \
+	fi
+
+lint-json:
+	$(PYTHON) -m repro.cli lint --format json src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test

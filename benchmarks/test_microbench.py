@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.engine import Engine
+from repro.core.rng import ensure_rng
 from repro.core.events import EventKind
 from repro.jobs.usage import UsageTrace
 from repro.scheduler.simulator import simulate
@@ -60,7 +61,7 @@ def test_dynamic_simulation_rate(benchmark):
 def test_rdp_rate(benchmark):
     """RDP compression of an LDMS-sized series (86k ten-second samples
     = one day of one node)."""
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n = 86_400 // 10
     levels = np.repeat(rng.integers(1000, 60000, size=24), n // 24 + 1)[:n]
     pts = np.column_stack([np.arange(n) * 10.0,

@@ -1,0 +1,51 @@
+"""AST-based simulation-correctness linter.
+
+Enforces the conventions the reproduction's credibility rests on —
+deterministic seeded randomness, integer-MB memory accounting, and
+ledger conservation — as mechanical lint rules.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale.
+
+Importing this package registers the shipped rules as a side effect.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Finding,
+    LintError,
+    ParsedModule,
+    Rule,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    lint_module,
+    lint_paths,
+    lint_source,
+    register,
+    resolve_rules,
+    rule_ids,
+)
+from .report import json_report, render_json, render_rules, render_text
+
+# Registering the shipped rules happens on import.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "json_report",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_rules",
+    "render_text",
+    "resolve_rules",
+    "rule_ids",
+]

@@ -1,0 +1,78 @@
+"""Standalone entry point for the linter (``repro-lint`` console script).
+
+``repro lint`` / ``python -m repro.cli lint`` route here too, so CLI,
+pytest self-check, and CI all share one implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import LintError, lint_paths, resolve_rules, rule_ids
+from .report import render_json, render_rules, render_text
+
+__all__ = ["add_lint_arguments", "default_lint_paths", "main", "run_lint"]
+
+
+def default_lint_paths() -> List[str]:
+    """The installed ``repro`` package tree (what the self-check lints)."""
+    return [str(Path(__file__).resolve().parent.parent)]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared lint options to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", dest="rules",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    try:
+        rules = resolve_rules(args.rules)
+        findings = lint_paths(args.paths or default_lint_paths(), rules)
+    except LintError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based simulation-correctness linter "
+        f"(rules: {', '.join(rule_ids())})",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

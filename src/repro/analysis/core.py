@@ -1,0 +1,290 @@
+"""Lint framework core: findings, rules, registry, noqa, and the runner.
+
+The analysis layer is a small AST-walking linter enforcing the
+simulation-correctness conventions the rest of the package relies on
+(integer-MB memory accounting, seeded RNG plumbing, ledger
+conservation).  It is deliberately dependency-free: rules operate on
+:class:`ParsedModule` objects (source + ``ast`` tree + suppression map)
+and yield :class:`Finding` records.
+
+Suppression: append ``# repro: noqa[RULE]`` (comma-separated rule ids,
+or bare ``# repro: noqa`` for all rules) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ParsedModule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "resolve_rules",
+    "rule_ids",
+]
+
+#: Recognised severities, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,8}\d{3}$")
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+class LintError(Exception):
+    """Raised for misconfigured rules or unknown rule selections."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation at a concrete source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+def _relativize(path: str) -> str:
+    """Best-effort module path rooted at the ``repro`` package.
+
+    ``/root/repo/src/repro/cluster/cluster.py`` -> ``repro/cluster/cluster.py``
+    so rules can scope themselves by package-relative fragments even when
+    the linter is invoked on absolute paths or from another directory.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return "/".join(parts)
+
+
+def _collect_noqa(lines: Sequence[str]) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map 1-based line numbers to suppressed rule ids.
+
+    ``None`` means every rule is suppressed on that line (bare noqa).
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        raw = m.group("rules")
+        if raw is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                part.strip().upper() for part in raw.split(",") if part.strip()
+            )
+    return out
+
+
+class ParsedModule:
+    """One parsed Python source file plus the metadata rules need."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str = "<string>",
+        relpath: Optional[str] = None,
+    ):
+        self.source = source
+        self.path = str(path)
+        self.relpath = relpath if relpath is not None else _relativize(self.path)
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        self.noqa = _collect_noqa(self.lines)
+
+    @classmethod
+    def from_file(cls, path: Path) -> "ParsedModule":
+        return cls(path.read_text(encoding="utf-8"), path=str(path))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (``ABC123`` shape), ``title``, optionally
+    ``severity``, and restrict themselves to package-relative path
+    fragments via ``scope`` (``None`` = every file) and ``exempt``.
+    ``check`` yields :class:`Finding` objects; helpers below build them
+    with the rule's id/severity filled in.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    #: Apply only to files whose relpath contains one of these fragments.
+    scope: Optional[Tuple[str, ...]] = None
+    #: Never apply to files whose relpath contains one of these fragments.
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        rel = module.relpath
+        if any(fragment in rel for fragment in self.exempt):
+            return False
+        if self.scope is None:
+            return True
+        return any(fragment in rel for fragment in self.scope)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not _RULE_ID_RE.match(rule.id or ""):
+        raise LintError(f"rule id {rule.id!r} does not match ABC123 shape")
+    if rule.severity not in SEVERITIES:
+        raise LintError(f"rule {rule.id}: unknown severity {rule.severity!r}")
+    if rule.id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        raise LintError(
+            f"unknown rule {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
+        ) from None
+
+
+def resolve_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve ``--rule``-style selections to rule objects (all when empty)."""
+    if not selection:
+        return all_rules()
+    return [get_rule(rid) for rid in selection]
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def lint_module(
+    module: ParsedModule, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one parsed module."""
+    out: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if module.is_suppressed(rule.id, finding.line):
+                continue
+            out.append(finding)
+    return sorted(out, key=Finding.sort_key)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    relpath: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint an in-memory snippet (test entry point).
+
+    ``relpath`` poses as the package-relative path so path-scoped rules
+    can be exercised without writing files into the package tree.
+    """
+    return lint_module(ParsedModule(source, path=path, relpath=relpath), rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py" and p.is_file():
+            yield p
+        elif not p.exists():
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every Python file under ``paths``.
+
+    Unparseable files surface as ``SYNTAX`` findings rather than
+    aborting the run, so one bad file cannot hide the rest.
+    """
+    out: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = ParsedModule.from_file(path)
+        except SyntaxError as exc:
+            out.append(
+                Finding(
+                    rule="SYNTAX",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse: {exc.msg}",
+                    severity="error",
+                )
+            )
+            continue
+        out.extend(lint_module(module, rules))
+    return sorted(out, key=Finding.sort_key)

@@ -1,0 +1,72 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON schema (``version`` 1) is stable for CI consumption::
+
+    {
+      "version": 1,
+      "count": <int>,
+      "findings": [
+        {"rule": "DET001", "path": "...", "line": 3, "col": 0,
+         "message": "...", "severity": "error"},
+        ...
+      ],
+      "summary": {"by_rule": {...}, "by_severity": {...}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import Finding, all_rules
+
+__all__ = ["json_report", "render_json", "render_rules", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def json_report(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Build the JSON-serialisable report dictionary."""
+    by_rule: Dict[str, int] = {}
+    by_severity: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        by_severity[f.severity] = by_severity.get(f.severity, 0) + 1
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+        "summary": {"by_rule": by_rule, "by_severity": by_severity},
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(json_report(findings), indent=2, sort_keys=True)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary tail (empty input -> all clean)."""
+    if not findings:
+        return "all clean: no findings"
+    lines: List[str] = [f.render() for f in findings]
+    report = json_report(findings)
+    by_rule = report["summary"]["by_rule"]  # type: ignore[index]
+    counts = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"{len(findings)} finding(s) ({counts})")
+    return "\n".join(lines)
+
+
+def render_rules() -> str:
+    """Table of registered rules for ``lint --list-rules``."""
+    lines = []
+    for rule in all_rules():
+        where = (
+            "all files" if rule.scope is None
+            else ", ".join(rule.scope)
+        )
+        lines.append(f"{rule.id}  [{rule.severity:7s}]  {rule.title}")
+        lines.append(f"        applies to: {where}")
+        if rule.exempt:
+            lines.append(f"        exempt: {', '.join(rule.exempt)}")
+    return "\n".join(lines)

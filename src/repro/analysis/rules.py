@@ -1,0 +1,421 @@
+"""The shipped simulation-correctness rules.
+
+Each rule protects one invariant the paper reproduction depends on:
+
+* **DET001 / DET002** — determinism: no wall-clock reads in simulation
+  code, all randomness through the seeded :mod:`repro.core.rng` plumbing.
+* **UNIT001 / UNIT002** — unit safety: memory stays integer mebibytes,
+  float comparisons in metrics code use tolerances.
+* **PY001** — no mutable default arguments (shared-state bugs).
+* **INV001** — ledger-like dataclass fields in ``cluster/`` must be
+  covered by a conservation assertion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Finding, ParsedModule, Rule, register
+
+__all__ = [
+    "LedgerShadowRule",
+    "MbFloatRule",
+    "MetricsFloatEqualityRule",
+    "MutableDefaultRule",
+    "UnseededRngRule",
+    "WallClockRule",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+@register
+class WallClockRule(Rule):
+    """DET001: simulation code must not read the wall clock.
+
+    Simulated time comes from the event engine; any ``time.time()`` or
+    ``datetime.now()`` in scheduler/policy/trace code makes runs
+    irreproducible across hosts and reruns.
+    """
+
+    id = "DET001"
+    title = "no wall-clock reads in simulation code"
+    scope = ("repro/scheduler/", "repro/policies/", "repro/traces/")
+
+    _BANNED_CALLS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+    _BANNED_TIME_IMPORTS = frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns",
+         "perf_counter", "perf_counter_ns"}
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self._BANNED_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock call {name}() in simulation code; "
+                        "use engine/simulated time instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = sorted(
+                    a.name for a in node.names
+                    if a.name in self._BANNED_TIME_IMPORTS
+                )
+                if bad:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"importing wall-clock reader(s) {', '.join(bad)} "
+                        "from 'time' in simulation code",
+                    )
+
+
+# ----------------------------------------------------------------------
+@register
+class UnseededRngRule(Rule):
+    """DET002: all randomness flows through ``repro.core.rng``.
+
+    Direct ``random.*`` or ``np.random.*`` use (including
+    ``np.random.default_rng``) bypasses the seed plumbing that makes
+    every figure in EXPERIMENTS.md reproducible; call
+    ``ensure_rng``/``spawn`` and thread the generator instead.
+    """
+
+    id = "DET002"
+    title = "all RNG via repro.core.rng (ensure_rng/spawn)"
+    exempt = ("repro/core/rng.py",)
+
+    _NP_PREFIXES = ("np.random.", "numpy.random.")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib 'random' is unseeded module-global state; "
+                            "use repro.core.rng.ensure_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "random" or mod.startswith("random."):
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib 'random' is unseeded module-global state; "
+                        "use repro.core.rng.ensure_rng",
+                    )
+                elif mod == "numpy.random" or mod.startswith("numpy.random."):
+                    yield self.finding(
+                        module,
+                        node,
+                        "import numpy RNG constructors via repro.core.rng "
+                        "(ensure_rng/spawn), not numpy.random directly",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name.startswith(self._NP_PREFIXES):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct {name}() call; route RNG through "
+                        "repro.core.rng.ensure_rng/spawn so streams stay seeded",
+                    )
+                elif name.startswith("random."):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"stdlib {name}() uses unseeded global state; "
+                        "use a generator from repro.core.rng",
+                    )
+
+
+# ----------------------------------------------------------------------
+def _mb_named(name: Optional[str]) -> bool:
+    return bool(name) and name.lower().endswith("_mb")
+
+
+def _target_names(target: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(name, node)`` for every simple name an assignment binds."""
+    if isinstance(target, ast.Name):
+        yield target.id, target
+    elif isinstance(target, ast.Attribute):
+        yield target.attr, target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _float_producer(value: ast.AST) -> Optional[str]:
+    """Why ``value`` yields a non-integer, or None if it looks integral."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, float):
+        return f"float literal {value.value!r}"
+    if isinstance(value, ast.Call) and dotted_name(value.func) == "float":
+        return "float(...) conversion"
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Div):
+        return "true division (/)"
+    if isinstance(value, ast.IfExp):
+        return _float_producer(value.body) or _float_producer(value.orelse)
+    return None
+
+
+@register
+class MbFloatRule(Rule):
+    """UNIT001: memory quantities (``*_mb``) stay integer mebibytes.
+
+    The lend/borrow ledgers are exact integer arithmetic; a float
+    leaking into an ``_mb`` binding breaks conservation checks with
+    rounding drift.  Use ``//``, ``int(round(...))`` or
+    ``repro.core.units.gb_to_mb`` at the boundary.
+    """
+
+    id = "UNIT001"
+    title = "*_mb bindings must be integer (no float literals, float(), or /)"
+
+    def _flag(
+        self, module: ParsedModule, name: str, value: ast.AST, node: ast.AST
+    ) -> Iterator[Finding]:
+        why = _float_producer(value)
+        if why is not None:
+            yield self.finding(
+                module,
+                node,
+                f"'{name}' is a memory quantity but is bound from {why}; "
+                "memory is integer MB (use //, int(round(...)), or gb_to_mb)",
+            )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for name, _tnode in (
+                    pair for t in node.targets for pair in _target_names(t)
+                ):
+                    if _mb_named(name):
+                        yield from self._flag(module, name, node.value, node)
+            elif isinstance(node, ast.AnnAssign):
+                for name, _tnode in _target_names(node.target):
+                    if not _mb_named(name):
+                        continue
+                    if (
+                        isinstance(node.annotation, ast.Name)
+                        and node.annotation.id == "float"
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"'{name}' is annotated 'float'; memory quantities "
+                            "are integer MB",
+                        )
+                    if node.value is not None:
+                        yield from self._flag(module, name, node.value, node)
+            elif isinstance(node, ast.AugAssign):
+                for name, _tnode in _target_names(node.target):
+                    if _mb_named(name):
+                        if isinstance(node.op, ast.Div):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"'{name} /= ...' produces a float; use //= "
+                                "to keep memory integer MB",
+                            )
+                        else:
+                            yield from self._flag(module, name, node.value, node)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is not None and _mb_named(kw.arg):
+                        yield from self._flag(module, kw.arg, kw.value, kw.value)
+
+
+# ----------------------------------------------------------------------
+@register
+class MetricsFloatEqualityRule(Rule):
+    """UNIT002: metrics/slowdown code never compares floats with ==/!=.
+
+    Slowdown factors and normalised metrics are products of float
+    arithmetic; exact equality silently flips with operation order.
+    Use ``math.isclose`` with an explicit tolerance.
+    """
+
+    id = "UNIT002"
+    title = "no ==/!= against float expressions in metrics/slowdown code"
+    scope = ("repro/metrics/", "repro/slowdown/")
+
+    def _is_floatish(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call) and dotted_name(node.func) == "float":
+            return True
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_floatish(node.left) or self._is_floatish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floatish(node.operand)
+        return False
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_floatish(left) or self._is_floatish(right):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node,
+                        f"float {sym} comparison; use math.isclose with an "
+                        "explicit tolerance",
+                    )
+
+
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """PY001: no mutable default arguments.
+
+    A mutable default is shared across calls; policies and workloads are
+    long-lived objects, so the aliasing corrupts later simulations.
+    """
+
+    id = "PY001"
+    title = "no mutable default arguments"
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict",
+         "collections.defaultdict", "collections.OrderedDict", "OrderedDict"}
+    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in self._MUTABLE_CALLS
+        return False
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            a = node.args
+            positional = a.posonlyargs + a.args
+            for arg, default in zip(positional[len(positional) - len(a.defaults):],
+                                    a.defaults):
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default for parameter '{arg.arg}' of "
+                        f"{node.name}(); use None and create inside the body",
+                    )
+            for arg, default in zip(a.kwonlyargs, a.kw_defaults):
+                if default is not None and self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default for parameter '{arg.arg}' of "
+                        f"{node.name}(); use None and create inside the body",
+                    )
+
+
+# ----------------------------------------------------------------------
+@register
+class LedgerShadowRule(Rule):
+    """INV001: cluster dataclass ledger fields need conservation checks.
+
+    A ``*_mb`` field on a ``cluster/`` dataclass mirrors memory ledger
+    state; if no assertion-bearing method of the class ever touches it,
+    nothing would catch the ledger drifting out of conservation.
+    """
+
+    id = "INV001"
+    title = "cluster dataclass *_mb fields must appear in a conservation check"
+
+    scope = ("repro/cluster/",)
+
+    def _is_dataclass(self, cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = dotted_name(target)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    def _asserted_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        """Self-attributes referenced in methods containing assert/raise."""
+        out: Set[str] = set()
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            has_assertion = any(
+                isinstance(n, (ast.Assert, ast.Raise)) for n in ast.walk(item)
+            )
+            if not has_assertion:
+                continue
+            for n in ast.walk(item):
+                if isinstance(n, ast.Attribute) and isinstance(n.value, ast.Name):
+                    if n.value.id == "self":
+                        out.add(n.attr)
+        return out
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not self._is_dataclass(node):
+                continue
+            covered = self._asserted_attrs(node)
+            for item in node.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                if not isinstance(item.target, ast.Name):
+                    continue
+                name = item.target.id
+                if _mb_named(name) and name not in covered:
+                    yield self.finding(
+                        module,
+                        item,
+                        f"dataclass field '{name}' of {node.name} shadows "
+                        "ledger state but no assertion-bearing method of the "
+                        "class references it; add it to a conservation check",
+                    )

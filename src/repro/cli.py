@@ -8,7 +8,9 @@
   or freshly generated workload;
 * ``figure`` / ``table`` — regenerate any of the paper's figures/tables
   and print the report;
-* ``inspect`` — characterise a saved workload (Table 2/3 style).
+* ``inspect`` — characterise a saved workload (Table 2/3 style);
+* ``lint`` — run the AST-based simulation-correctness linter
+  (see ``docs/STATIC_ANALYSIS.md``).
 
 Every command is deterministic given ``--seed``.
 """
@@ -132,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--out", required=True, help="JSONL checkpoint path")
     camp.add_argument("--scale", choices=sorted(SCALES), default="medium")
     camp.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simulation-correctness linter (docs/STATIC_ANALYSIS.md)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     return parser
 
@@ -391,6 +401,12 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
@@ -400,6 +416,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
+    "lint": _cmd_lint,
 }
 
 

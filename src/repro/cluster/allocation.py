@@ -65,6 +65,34 @@ class JobAllocation:
                 agg[lender] = agg.get(lender, 0) + mb
         yield from agg.items()
 
+    def check_conservation(self) -> None:
+        """Raise ``ValueError`` if the record is internally inconsistent.
+
+        Conservation requirements mirrored by the cluster-wide ledgers
+        (:meth:`repro.cluster.cluster.Cluster.check_invariants`):
+
+        * ``local_mb`` keys are compute nodes of the job with
+          non-negative amounts;
+        * ``remote_mb`` keys are compute nodes, lender amounts are
+          strictly positive, and a node never lends to itself.
+        """
+        node_set = set(self.nodes)
+        for node, mb in self.local_mb.items():
+            if node not in node_set:
+                raise ValueError(f"local_mb entry for non-compute node {node}")
+            if mb < 0:
+                raise ValueError(f"negative local allocation {mb}MB on node {node}")
+        for node, lender_map in self.remote_mb.items():
+            if node not in node_set:
+                raise ValueError(f"remote_mb entry for non-compute node {node}")
+            for lender, mb in lender_map.items():
+                if mb <= 0:
+                    raise ValueError(
+                        f"non-positive borrow {mb}MB from lender {lender}"
+                    )
+                if lender == node:
+                    raise ValueError(f"node {node} lends remote memory to itself")
+
     def copy(self) -> "JobAllocation":
         return JobAllocation(
             nodes=list(self.nodes),

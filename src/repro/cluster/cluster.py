@@ -269,6 +269,10 @@ class Cluster:
         lent = np.zeros(self.n_nodes, dtype=np.int64)
         busy_nodes: set[int] = set()
         for jid, alloc in self.allocations.items():
+            try:
+                alloc.check_conservation()
+            except ValueError as exc:
+                raise AllocationError(f"job {jid}: {exc}") from exc
             for node in alloc.nodes:
                 if node in busy_nodes:
                     raise AllocationError(f"node {node} allocated to two jobs")

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.rng import ensure_rng
 from ..traces.archer import DISTRIBUTIONS
 from ..traces.grizzly import generate_dataset
 from ..traces.pipeline import synthetic_workload
@@ -63,7 +64,7 @@ def table2_memory_distribution(
     distributions; the Grizzly columns are measured from a generated
     dataset (so the generator itself is validated, not just its target).
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     out: Dict[str, Dict[str, np.ndarray]] = {"synthetic": {}, "grizzly": {}}
     for klass in ("all", "small", "large"):
         dist = DISTRIBUTIONS[("archer", klass)]

@@ -23,10 +23,9 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-import numpy as np
-
 from ..cluster.allocation import JobAllocation
 from ..cluster.cluster import Cluster
+from ..core.rng import ensure_rng
 from ..jobs.job import Job
 from .base import UpdateOutcome
 from .static import StaticDisaggregatedPolicy
@@ -63,7 +62,7 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         #: relative std-dev of the Monitor's usage readings (0 = perfect;
         #: real LDMS-style telemetry is sampled and noisy — ablation knob)
         self.monitor_noise = monitor_noise
-        self._monitor_rng = np.random.default_rng(monitor_seed)
+        self._monitor_rng = ensure_rng(monitor_seed)
         #: paper §2.2 fairness mitigation: restarted jobs keep their
         #: original queue priority instead of re-queuing at the tail
         self.oom_priority_boost = oom_priority_boost

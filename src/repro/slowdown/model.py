@@ -24,6 +24,7 @@ coefficients from :mod:`repro.slowdown.profiles`.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Optional, Sequence, Set
 
 from ..cluster.allocation import JobAllocation
@@ -66,7 +67,7 @@ class ContentionModel:
         Scaled by ``distance_penalty`` into a multiplicative factor on
         the remote term, floored at 0.5 (even adjacent memory is remote).
         """
-        if self.distance_penalty == 0.0:
+        if math.isclose(self.distance_penalty, 0.0, abs_tol=1e-12):
             return 1.0
         total_mb = 0
         weighted = 0.0

@@ -133,14 +133,14 @@ def generate(
             )
         )
         n_tasks = int(np.clip(np.round(rng.lognormal(np.log(8), 1.2)), 1, max_tasks))
-        peak_mb = float(
+        peak_mb = int(
             np.clip(
                 rng.lognormal(np.log(median_peak_gb * MB_PER_GB), peak_sigma),
                 64,
                 130 * MB_PER_GB,
             )
         )
-        curve = phased_usage(rng, int(peak_mb), runtime)
+        curve = phased_usage(rng, peak_mb, runtime)
         n_windows = max(int(np.ceil(runtime / WINDOW_S)), 1)
         t0 = np.arange(n_windows) * WINDOW_S
         t1 = np.minimum(t0 + WINDOW_S, runtime)

@@ -1,0 +1,13 @@
+# lint-relpath: repro/scheduler/golden.py
+"""Golden fixture for DET001 (wall-clock reads in simulation code)."""
+import datetime
+import time
+from time import monotonic  # EXPECT: DET001
+
+
+def stamp():
+    t = time.time()  # EXPECT: DET001
+    u = datetime.datetime.now()  # EXPECT: DET001
+    fmt = time.strftime  # non-clock attributes of 'time' are fine
+    allowed = time.perf_counter()  # repro: noqa[DET001]
+    return t, u, fmt, allowed, monotonic

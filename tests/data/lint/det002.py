@@ -1,0 +1,15 @@
+# lint-relpath: repro/traces/golden.py
+"""Golden fixture for DET002 (RNG bypassing repro.core.rng)."""
+import random  # EXPECT: DET002
+
+import numpy as np
+from numpy.random import default_rng  # EXPECT: DET002
+
+
+def sample(rng):
+    a = random.random()  # EXPECT: DET002
+    b = np.random.default_rng()  # EXPECT: DET002
+    c = np.random.normal(0.0, 1.0)  # EXPECT: DET002
+    d = np.random.default_rng(42)  # repro: noqa[DET002]
+    ok = rng.normal(0.0, 1.0)  # seeded generator methods are fine
+    return a, b, c, d, ok, default_rng

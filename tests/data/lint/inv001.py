@@ -1,0 +1,20 @@
+# lint-relpath: repro/cluster/golden.py
+"""Golden fixture for INV001 (unchecked ledger fields on cluster dataclasses)."""
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Ledger:
+    nodes: list = field(default_factory=list)
+    local_mb: dict = field(default_factory=dict)  # EXPECT: INV001
+    lent_mb: dict = field(default_factory=dict)  # repro: noqa[INV001]
+    borrowed_mb: dict = field(default_factory=dict)
+
+    def check_conservation(self):
+        if sum(self.borrowed_mb.values()) < 0:
+            raise ValueError("negative borrow total")
+
+
+class PlainClass:
+    # Not a dataclass: INV001 does not apply.
+    spare_mb: dict = {}

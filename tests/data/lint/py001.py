@@ -1,0 +1,22 @@
+# lint-relpath: repro/experiments/golden.py
+"""Golden fixture for PY001 (mutable default arguments)."""
+
+
+def bad(items=[]):  # EXPECT: PY001
+    return items
+
+
+def also_bad(*, cache={}):  # EXPECT: PY001
+    return cache
+
+
+def constructed(pool=dict()):  # EXPECT: PY001
+    return pool
+
+
+def fine(items=(), other=None):
+    return items, other
+
+
+def tolerated(items=[]):  # repro: noqa[PY001]
+    return items

@@ -1,0 +1,20 @@
+# lint-relpath: repro/jobs/golden.py
+"""Golden fixture for UNIT001 (floats leaking into *_mb bindings)."""
+
+
+def convert(total, n, make):
+    peak_mb = 1.5  # EXPECT: UNIT001
+    req_mb = float(total)  # EXPECT: UNIT001
+    share_mb = total / n  # EXPECT: UNIT001
+    ok_mb = total // n
+    exact_mb = int(round(total / n))
+    tolerated_mb = total / n  # repro: noqa[UNIT001]
+    job = make(request_mb=total / n)  # EXPECT: UNIT001
+    half_mb = ok_mb
+    half_mb /= 2  # EXPECT: UNIT001
+    return peak_mb, req_mb, share_mb, ok_mb, exact_mb, tolerated_mb, job, half_mb
+
+
+class Holder:
+    cap_mb: float = 0.0  # EXPECT: UNIT001,UNIT001
+    good_mb: int = 0

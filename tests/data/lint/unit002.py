@@ -1,0 +1,12 @@
+# lint-relpath: repro/metrics/golden.py
+"""Golden fixture for UNIT002 (float equality in metrics/slowdown code)."""
+
+
+def compare(x, y, values):
+    a = x == 1.0  # EXPECT: UNIT002
+    b = x != y / 2  # EXPECT: UNIT002
+    c = float(x) == y  # EXPECT: UNIT002
+    d = x == 1  # integer comparison is exact
+    e = len(values) == 0  # length comparison is exact
+    f = x == 1.0  # repro: noqa[UNIT002]
+    return a, b, c, d, e, f

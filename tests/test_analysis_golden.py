@@ -1,0 +1,61 @@
+"""Golden-file tests: one deliberately-bad fixture per shipped rule.
+
+Each fixture under ``tests/data/lint/`` declares its pretend package
+location in a ``# lint-relpath:`` header and marks every expected
+finding with ``# EXPECT: RULE[,RULE...]`` on the offending line.  The
+test runs *all* rules over the fixture, so it also proves the other
+rules stay quiet on that file.
+"""
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source, rule_ids
+
+DATA_DIR = Path(__file__).parent / "data" / "lint"
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*([A-Z0-9,\s]+)")
+_RELPATH_RE = re.compile(r"#\s*lint-relpath:\s*(\S+)")
+
+FIXTURES = sorted(DATA_DIR.glob("*.py"))
+
+
+def parse_fixture(path):
+    source = path.read_text()
+    m = _RELPATH_RE.search(source)
+    assert m, f"{path.name}: missing '# lint-relpath:' header"
+    expected = Counter()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        em = _EXPECT_RE.search(line)
+        if em:
+            for rule in em.group(1).split(","):
+                expected[(lineno, rule.strip())] += 1
+    return source, m.group(1), expected
+
+
+def test_every_rule_has_a_golden_fixture():
+    covered = set()
+    for path in FIXTURES:
+        _src, _rel, expected = parse_fixture(path)
+        covered.update(rule for _line, rule in expected)
+    assert covered == set(rule_ids())
+
+
+def test_every_fixture_exercises_noqa():
+    for path in FIXTURES:
+        assert "repro: noqa[" in path.read_text(), (
+            f"{path.name}: golden fixtures must include a suppressed line"
+        )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_golden_fixture_matches_expectations(path):
+    source, relpath, expected = parse_fixture(path)
+    findings = lint_source(source, path=str(path), relpath=relpath)
+    actual = Counter((f.line, f.rule) for f in findings)
+    assert actual == expected, (
+        f"{path.name}: findings diverge from EXPECT markers\n"
+        f"missing: {expected - actual}\nunexpected: {actual - expected}"
+    )

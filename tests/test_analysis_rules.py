@@ -1,0 +1,184 @@
+"""Per-rule tests: each shipped rule triggers on a known-bad snippet and
+is silenced by ``# repro: noqa[RULE]`` on the offending line."""
+
+import pytest
+
+from repro.analysis import lint_source, resolve_rules
+
+
+def run_rule(rule_id, src, relpath):
+    return lint_source(src, relpath=relpath, rules=resolve_rules([rule_id]))
+
+
+def add_noqa(src, rule_id, needle):
+    """Append the suppression comment to every line containing needle."""
+    out = []
+    for line in src.splitlines():
+        if needle in line:
+            line = f"{line}  # repro: noqa[{rule_id}]"
+        out.append(line)
+    return "\n".join(out) + "\n"
+
+
+CASES = {
+    # rule id -> (bad snippet, relpath it must fire in, needle marking the
+    # offending line(s), expected number of findings)
+    "DET001": (
+        "import time\n\n\ndef now():\n    return time.time()\n",
+        "repro/scheduler/clock.py",
+        "time.time()",
+        1,
+    ),
+    "DET002": (
+        "import numpy as np\n\n\ndef draw():\n"
+        "    return np.random.default_rng().normal()\n",
+        "repro/traces/sampler.py",
+        "default_rng",
+        1,
+    ),
+    "UNIT001": (
+        "def split(total_mb, n):\n    part_mb = total_mb / n\n    return part_mb\n",
+        "repro/cluster/split.py",
+        "total_mb / n",
+        1,
+    ),
+    "UNIT002": (
+        "def same(a, b):\n    return a == b * 1.0 or a == 0.5\n",
+        "repro/metrics/eq.py",
+        "a ==",
+        2,
+    ),
+    "PY001": (
+        "def collect(acc=[]):\n    return acc\n",
+        "repro/experiments/collect.py",
+        "acc=[]",
+        1,
+    ),
+    "INV001": (
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\nclass Shadow:\n    lent_mb: int = 0\n",
+        "repro/cluster/shadow.py",
+        "lent_mb: int",
+        1,
+    ),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_triggers_on_bad_snippet(rule_id):
+    src, relpath, _needle, expected = CASES[rule_id]
+    findings = run_rule(rule_id, src, relpath)
+    assert len(findings) == expected
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_suppressed_by_noqa(rule_id):
+    src, relpath, needle, _expected = CASES[rule_id]
+    suppressed = add_noqa(src, rule_id, needle)
+    assert run_rule(rule_id, suppressed, relpath) == []
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edge cases
+# ----------------------------------------------------------------------
+def test_det001_only_fires_in_simulation_modules():
+    src, _relpath, _needle, _n = CASES["DET001"]
+    assert run_rule("DET001", src, "repro/experiments/clock.py") == []
+
+
+def test_det001_flags_from_time_import():
+    src = "from time import monotonic\n"
+    findings = run_rule("DET001", src, "repro/policies/x.py")
+    assert len(findings) == 1 and "monotonic" in findings[0].message
+
+
+def test_det002_allows_core_rng_itself():
+    src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+    assert run_rule("DET002", src, "repro/core/rng.py") == []
+
+
+def test_det002_flags_legacy_global_numpy_rng():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    findings = run_rule("DET002", src, "repro/experiments/x.py")
+    assert len(findings) == 1
+
+
+def test_det002_flags_numpy_random_import():
+    src = "from numpy.random import default_rng\n"
+    findings = run_rule("DET002", src, "repro/experiments/x.py")
+    assert len(findings) == 1
+
+
+def test_det002_ignores_generator_methods_and_annotations():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(rng: np.random.Generator):\n"
+        "    return rng.normal() if isinstance(rng, np.random.Generator) else 0\n"
+    )
+    assert run_rule("DET002", src, "repro/traces/x.py") == []
+
+
+def test_unit001_flags_float_literal_annotation_and_keyword():
+    src = (
+        "def f(build):\n"
+        "    a_mb = 2.5\n"
+        "    b_mb: float = 3\n"
+        "    return build(peak_mb=float(a_mb))\n"
+    )
+    findings = run_rule("UNIT001", src, "repro/jobs/x.py")
+    assert len(findings) == 3
+
+
+def test_unit001_allows_integer_arithmetic():
+    src = (
+        "def f(total, n):\n"
+        "    a_mb = total // n\n"
+        "    b_mb = int(round(total / n))\n"
+        "    c_mb: int = 0\n"
+        "    return a_mb + b_mb + c_mb\n"
+    )
+    assert run_rule("UNIT001", src, "repro/jobs/x.py") == []
+
+
+def test_unit002_scoped_to_metrics_and_slowdown():
+    src = "ok = 1.0 == 2.0\n"
+    assert run_rule("UNIT002", src, "repro/traces/x.py") == []
+    assert len(run_rule("UNIT002", src, "repro/slowdown/x.py")) == 1
+
+
+def test_unit002_allows_integer_and_length_compares():
+    src = "def f(x, xs):\n    return x == 1 and len(xs) != 0\n"
+    assert run_rule("UNIT002", src, "repro/metrics/x.py") == []
+
+
+def test_py001_flags_kwonly_and_call_defaults():
+    src = "def f(a, *, cache=dict(), items=[]):\n    return a, cache, items\n"
+    findings = run_rule("PY001", src, "repro/core/x.py")
+    assert len(findings) == 2
+
+
+def test_py001_allows_none_and_tuple_defaults():
+    src = "def f(a=None, b=(), c=0):\n    return a, b, c\n"
+    assert run_rule("PY001", src, "repro/core/x.py") == []
+
+
+def test_inv001_satisfied_by_assertion_coverage():
+    src = (
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\n"
+        "class Ledger:\n"
+        "    lent_mb: int = 0\n\n"
+        "    def check_conservation(self):\n"
+        "        if self.lent_mb < 0:\n"
+        "            raise ValueError('negative lend')\n"
+    )
+    assert run_rule("INV001", src, "repro/cluster/x.py") == []
+
+
+def test_inv001_ignores_non_dataclasses_and_other_dirs():
+    plain = "class C:\n    lent_mb: int = 0\n"
+    assert run_rule("INV001", plain, "repro/cluster/x.py") == []
+    dc = CASES["INV001"][0]
+    assert run_rule("INV001", dc, "repro/jobs/x.py") == []

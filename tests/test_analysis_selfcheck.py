@@ -1,0 +1,35 @@
+"""Tier-1 self-check: the shipped tree satisfies its own lint rules.
+
+If this fails, a change reintroduced a determinism/unit-safety/ledger
+hazard (or needs an explicit ``# repro: noqa[RULE]`` with justification).
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths, render_text, rule_ids
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+EXPECTED_RULES = ["DET001", "DET002", "INV001", "PY001", "UNIT001", "UNIT002"]
+
+
+def test_shipped_rules_registered():
+    assert rule_ids() == EXPECTED_RULES
+
+
+def test_package_tree_is_lint_clean():
+    findings = lint_paths([str(PACKAGE_DIR)])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_examples_and_benchmarks_are_lint_clean():
+    # Determinism rules are path-scoped to the package, but the generic
+    # rules (PY001/UNIT001) hold for the driver scripts too.
+    repo_root = PACKAGE_DIR.parent.parent.parent
+    findings = []
+    for sub in ("examples", "benchmarks"):
+        d = repo_root / sub
+        if d.is_dir():
+            findings.extend(lint_paths([str(d)]))
+    assert findings == [], "\n" + render_text(findings)

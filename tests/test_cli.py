@@ -136,3 +136,37 @@ def test_figure5_plot_flag(capsys):
     parser = build_parser()
     args = parser.parse_args(["figure", "5", "--plot"])
     assert args.plot is True
+
+
+def test_lint_command_clean_tree(capsys):
+    # Default paths = the installed repro package, which ships lint-clean.
+    rc = main(["lint"])
+    assert rc == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_lint_command_json_on_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\npeak_mb = 1.5\n")
+    rc = main(["lint", "--format", "json", str(bad)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["by_rule"] == {"DET002": 1, "UNIT001": 1}
+
+
+def test_lint_command_rule_selection(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\npeak_mb = 1.5\n")
+    rc = main(["lint", "--rule", "UNIT001", "--format", "json", str(bad)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload["summary"]["by_rule"]) == ["UNIT001"]
+
+
+def test_lint_command_list_rules(capsys):
+    rc = main(["lint", "--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "UNIT001", "UNIT002", "PY001", "INV001"):
+        assert rule_id in out
