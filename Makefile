@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-json test check
+.PHONY: lint lint-json test check bench-parallel
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -24,3 +24,7 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 check: lint test
+
+# Serial-vs-parallel campaign timing; writes benchmarks/output/BENCH_parallel.json
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py --workers 4

@@ -97,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also render an ASCII plot of the figure")
     fig.add_argument("--csv", metavar="PATH",
                      help="also write the figure data as tidy CSV")
+    fig.add_argument("--workers", type=int, default=1,
+                     help="process-pool size for figures 5/8 (1 = serial)")
 
     tab = sub.add_parser("table", help="regenerate a paper table")
     tab.add_argument("number", type=int, choices=(1, 2, 3))
@@ -125,6 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--nodes", type=int, default=96)
     sw.add_argument("--jobs", type=int, default=250)
     sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--workers", type=int, default=1,
+                    help="process-pool size (1 = serial)")
 
     camp = sub.add_parser(
         "campaign",
@@ -134,6 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--out", required=True, help="JSONL checkpoint path")
     camp.add_argument("--scale", choices=sorted(SCALES), default="medium")
     camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--workers", type=int, default=1,
+                      help="process-pool size (1 = serial); records are "
+                           "identical, file order follows completion")
+    camp.add_argument("--mixes", nargs="+", type=float, metavar="FRAC",
+                      help="subset of large-job fractions (fig5 panels; "
+                           "for fig8 a single value overrides the 0.5 mix)")
+    camp.add_argument("--memory-levels", nargs="+", type=int,
+                      choices=sorted(MEMORY_LEVELS), metavar="PCT",
+                      help="subset of provisioning levels to run")
+    camp.add_argument("--overestimations", nargs="+", type=float,
+                      metavar="FRAC", help="subset of overestimation factors")
 
     lint = sub.add_parser(
         "lint",
@@ -261,9 +276,11 @@ def _cmd_figure(args) -> int:
         from .experiments.export import figure5_csv
 
         if n == 5:
-            data = _figures.figure5_throughput(scale=scale, seed=args.seed)
+            data = _figures.figure5_throughput(scale=scale, seed=args.seed,
+                                               workers=args.workers)
         else:
-            data = _figures.figure8_overestimation(scale=scale, seed=args.seed)
+            data = _figures.figure8_overestimation(scale=scale, seed=args.seed,
+                                                   workers=args.workers)
         print(render_figure5(data))
         maybe_csv(figure5_csv(data))
         if args.plot:
@@ -366,6 +383,7 @@ def _cmd_sweep(args) -> int:
     base = Scenario(n_nodes=args.nodes, n_jobs=args.jobs, seed=args.seed)
     records = sweep(
         base,
+        workers=args.workers,
         policy=args.policy,
         memory_level=args.memory_level,
         frac_large=args.frac_large,
@@ -384,19 +402,27 @@ def _cmd_campaign(args) -> int:
     )
 
     scale = SCALES[args.scale]
-    grid = (
-        fig5_scenarios(scale=scale, seed=args.seed)
-        if args.grid == "fig5"
-        else fig8_scenarios(scale=scale, seed=args.seed)
-    )
-    print(f"{args.grid}: {len(grid)} scenarios at scale {args.scale}; "
-          f"checkpointing to {args.out}")
+    kw = {}
+    if args.memory_levels:
+        kw["memory_levels"] = tuple(args.memory_levels)
+    if args.overestimations:
+        kw["overestimations"] = tuple(args.overestimations)
+    if args.grid == "fig5":
+        if args.mixes:
+            kw["mixes"] = tuple(args.mixes)
+        grid = fig5_scenarios(scale=scale, seed=args.seed, **kw)
+    else:
+        if args.mixes:
+            kw["mix"] = args.mixes[0]
+        grid = fig8_scenarios(scale=scale, seed=args.seed, **kw)
+    print(f"{args.grid}: {len(grid)} scenarios at scale {args.scale} "
+          f"({args.workers} worker(s)); checkpointing to {args.out}")
 
     def progress(i, n, sc):
         print(f"[{i}/{n}] {sc.policy} mem={sc.memory_level}% "
               f"large={sc.frac_large:.0%} ovr=+{sc.overestimation:.0%}")
 
-    run_campaign(grid, args.out, progress=progress)
+    run_campaign(grid, args.out, progress=progress, workers=args.workers)
     print("campaign complete")
     return 0
 

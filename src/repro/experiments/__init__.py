@@ -12,12 +12,24 @@ from .figures import (
     figure9_min_memory,
 )
 from . import export
-from .campaign import fig5_scenarios, fig8_scenarios, run_campaign
+from .campaign import fig5_scenarios, fig8_scenarios, run_campaign, scenario_key
 from .commons import CommonsOutcome, commons_table, tragedy_of_the_commons
+from .parallel import run_grid
 from .plots import ascii_bars, ascii_ecdf, ascii_scatter
 from .sweep import sweep, sweep_table
 from .timeline import gantt, occupancy_strip, render_run
-from .runner import base_workload, clear_caches, normalized, reference, run
+from .runner import (
+    base_workload,
+    clear_caches,
+    normalized,
+    normalized_mean,
+    reference,
+    reference_scenario,
+    repeat_scenarios,
+    repeat_seed,
+    run,
+    set_cache_limits,
+)
 from .validate import ValidationReport, validate_workload
 from .scenarios import (
     FIG5_JOB_MIXES,
@@ -69,12 +81,19 @@ __all__ = [
     "figure9_min_memory",
     "gantt",
     "run_campaign",
+    "run_grid",
     "normalized",
+    "normalized_mean",
     "occupancy_strip",
     "render_run",
     "reference",
+    "reference_scenario",
+    "repeat_scenarios",
+    "repeat_seed",
     "run",
     "scenario_for_scale",
+    "scenario_key",
+    "set_cache_limits",
     "table1_trace_summary",
     "commons_table",
     "export",

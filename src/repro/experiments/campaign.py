@@ -4,21 +4,32 @@ A full-scale reproduction of the Fig. 5/8 grids is hundreds of
 multi-second simulations (~75 minutes at the paper's 1024 nodes); this
 driver persists each completed scenario to a JSONL file as it finishes
 and skips already-recorded scenarios on restart, so an interrupted
-campaign resumes instead of recomputing.
+campaign resumes instead of recomputing.  A campaign killed mid-write
+leaves a truncated final line; :func:`_load_done` repairs the file
+(dropping corrupt lines, which simply re-run) instead of crashing.
+
+``workers > 1`` fans the grid out across a process pool via
+:mod:`repro.experiments.parallel`; records are byte-identical to a
+serial run, only their order in the file follows completion rather than
+request order.
 
 ```python
 from repro.experiments.campaign import fig5_scenarios, run_campaign
-records = run_campaign(fig5_scenarios(SCALES["full"]), "fig5_full.jsonl")
+records = run_campaign(fig5_scenarios(SCALES["full"]), "fig5_full.jsonl",
+                       workers=4)
 ```
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from .parallel import run_grid, scenario_key
 from .runner import normalized, run
 from .scenarios import (
     FIG5_JOB_MIXES,
@@ -29,61 +40,128 @@ from .scenarios import (
     Scenario,
 )
 
+__all__ = [
+    "fig5_scenarios",
+    "fig8_scenarios",
+    "run_campaign",
+    "scenario_key",
+]
+
+log = logging.getLogger(__name__)
+
 PathLike = Union[str, Path]
 
 
-def scenario_key(scenario: Scenario) -> str:
-    """Stable identity of a scenario within a campaign file."""
-    d = asdict(scenario)
-    return json.dumps(d, sort_keys=True)
-
-
 def _load_done(path: Path) -> Dict[str, Dict]:
+    """Load completed records, repairing corrupt JSONL lines.
+
+    A campaign killed mid-write leaves a truncated trailing line — the
+    exact artifact resume-safety exists for — so corrupt lines must not
+    abort the resume.  Any line that fails to parse as a record is
+    logged and dropped; if any were found, the file is rewritten with
+    only the valid lines (so subsequent appends don't concatenate onto
+    a partial line) and the affected scenarios simply re-run.
+    """
     done: Dict[str, Dict] = {}
     if not path.exists():
         return done
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            done[rec["key"]] = rec
+    with open(path, "rb") as fh:
+        raw_lines = fh.read().splitlines()
+    valid: List[bytes] = []
+    corrupt = 0
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if not raw.strip():
+            continue
+        try:
+            rec = json.loads(raw.decode("utf-8"))
+            key = rec["key"]
+        except (UnicodeDecodeError, ValueError, TypeError, KeyError):
+            corrupt += 1
+            log.warning(
+                "campaign file %s: dropping corrupt JSONL line %d "
+                "(%.60r...); its scenario will re-run",
+                path, lineno, raw[:60],
+            )
+            continue
+        done[key] = rec
+        valid.append(raw)
+    if corrupt:
+        tmp = path.with_name(path.name + ".repair")
+        with open(tmp, "wb") as fh:
+            fh.write(b"".join(line + b"\n" for line in valid))
+        os.replace(tmp, path)
+        log.warning(
+            "campaign file %s: repaired in place, dropped %d corrupt "
+            "line(s), kept %d record(s)",
+            path, corrupt, len(valid),
+        )
     return done
+
+
+def _record(scenario: Scenario, raw: Dict) -> Dict:
+    """Campaign JSONL record from a parallel-executor raw result."""
+    return {
+        "key": raw["key"],
+        "scenario": asdict(scenario),
+        "normalized_throughput": raw["normalized_throughput"],
+        "summary": raw["summary"],
+    }
 
 
 def run_campaign(
     scenarios: Sequence[Scenario],
     path: PathLike,
     progress: Optional[Callable[[int, int, Scenario], None]] = None,
+    workers: int = 1,
 ) -> List[Dict]:
     """Run ``scenarios``, appending one JSONL record each; resume-safe.
 
     Returns the records for all requested scenarios (freshly run or
-    previously recorded), in request order.
+    previously recorded), in request order.  With ``workers > 1`` the
+    pending scenarios fan out over a process pool (records identical to
+    serial; file order and ``progress`` calls follow completion order,
+    and ``progress`` then counts pending scenarios only).
     """
     path = Path(path)
     done = _load_done(path)
-    out: List[Dict] = []
     with open(path, "a") as fh:
-        for i, scenario in enumerate(scenarios):
-            key = scenario_key(scenario)
-            rec = done.get(key)
-            if rec is None:
-                result = run(scenario)
-                rec = {
-                    "key": key,
-                    "scenario": asdict(scenario),
-                    "normalized_throughput": normalized(scenario),
-                    "summary": result.summary(),
-                }
-                fh.write(json.dumps(rec) + "\n")
-                fh.flush()
-                done[key] = rec
-            if progress is not None:
-                progress(i + 1, len(scenarios), scenario)
-            out.append(rec)
-    return out
+
+        def persist(scenario: Scenario, raw: Dict) -> None:
+            rec = _record(scenario, raw)
+            fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+            done[rec["key"]] = rec
+
+        if workers <= 1:
+            for i, scenario in enumerate(scenarios):
+                key = scenario_key(scenario)
+                if key not in done:
+                    result = run(scenario)
+                    rec = {
+                        "key": key,
+                        "scenario": asdict(scenario),
+                        "normalized_throughput": normalized(scenario),
+                        "summary": result.summary(),
+                    }
+                    fh.write(json.dumps(rec) + "\n")
+                    fh.flush()
+                    done[key] = rec
+                if progress is not None:
+                    progress(i + 1, len(scenarios), scenario)
+        else:
+            pending: Dict[str, Scenario] = {}
+            for scenario in scenarios:
+                key = scenario_key(scenario)
+                if key not in done:
+                    pending.setdefault(key, scenario)
+            if pending:
+                run_grid(
+                    list(pending.values()),
+                    workers=workers,
+                    progress=progress,
+                    on_result=persist,
+                )
+    return [done[scenario_key(sc)] for sc in scenarios]
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,8 @@ from ..metrics.response import ecdf, median_reduction
 from ..metrics.cost import throughput_per_dollar
 from ..traces.grizzly import generate_dataset
 from ..traces.pipeline import synthetic_workload
-from .runner import normalized, normalized_mean, run
+from .parallel import run_grid, scenario_key
+from .runner import normalized, normalized_mean, repeat_scenarios, run
 from .scenarios import (
     FIG5_JOB_MIXES,
     FIG5_MEMORY_LEVELS,
@@ -93,17 +94,63 @@ def figure5_throughput(
     include_grizzly: bool = True,
     grizzly_repeats: int = 1,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[str, Dict[float, Dict[int, PolicyBars]]]:
     """Normalised throughput per (panel, overestimation, level, policy).
 
     Keys: panel name ("large=50%" or "grizzly") -> overestimation ->
     memory level -> policy -> normalised throughput or ``None``.
     ``grizzly_repeats`` averages several generated weeks for the Grizzly
-    panel (the paper simulates seven sampled weeks).
+    panel (the paper simulates seven sampled weeks).  ``workers > 1``
+    precomputes the whole grid over a process pool
+    (:mod:`repro.experiments.parallel`); the values are identical.
     """
-    panels: Dict[str, Dict[float, Dict[int, PolicyBars]]] = {}
+    panel_bases = []
+    for mix in mixes:
+        base = Scenario(
+            trace="synthetic",
+            frac_large=mix,
+            n_nodes=scale.n_nodes,
+            n_jobs=scale.n_jobs,
+            seed=seed,
+        )
+        panel_bases.append((f"large={int(round(mix * 100))}%", base, 1))
+    if include_grizzly:
+        base = Scenario(
+            trace="grizzly",
+            n_nodes=scale.grizzly_nodes,
+            n_jobs=scale.grizzly_jobs,
+            seed=seed,
+        )
+        panel_bases.append(("grizzly", base, grizzly_repeats))
 
-    def sweep(base: Scenario, repeats: int = 1) -> Dict[float, Dict[int, PolicyBars]]:
+    def grid_scenarios():
+        for _name, base, repeats in panel_bases:
+            for ovr in overestimations:
+                for level in memory_levels:
+                    for policy in ("baseline", "static", "dynamic"):
+                        sc = base.with_(
+                            policy=policy, memory_level=level, overestimation=ovr
+                        )
+                        yield from repeat_scenarios(sc, repeats)
+
+    norm_lookup = None
+    if workers > 1:
+        norm_lookup = run_grid(list(grid_scenarios()), workers=workers)
+
+    def norm_mean(sc: Scenario, repeats: int) -> Optional[float]:
+        if norm_lookup is None:
+            return normalized_mean(sc, repeats=repeats)
+        values = []
+        for rep_sc in repeat_scenarios(sc, repeats):
+            value = norm_lookup[scenario_key(rep_sc)]["normalized_throughput"]
+            if value is None:
+                return None
+            values.append(value)
+        return float(sum(values) / len(values))
+
+    panels: Dict[str, Dict[float, Dict[int, PolicyBars]]] = {}
+    for name, base, repeats in panel_bases:
         out: Dict[float, Dict[int, PolicyBars]] = {}
         for ovr in overestimations:
             out[ovr] = {}
@@ -113,27 +160,9 @@ def figure5_throughput(
                     sc = base.with_(
                         policy=policy, memory_level=level, overestimation=ovr
                     )
-                    bars[policy] = normalized_mean(sc, repeats=repeats)
+                    bars[policy] = norm_mean(sc, repeats)
                 out[ovr][level] = bars
-        return out
-
-    for mix in mixes:
-        base = Scenario(
-            trace="synthetic",
-            frac_large=mix,
-            n_nodes=scale.n_nodes,
-            n_jobs=scale.n_jobs,
-            seed=seed,
-        )
-        panels[f"large={int(round(mix * 100))}%"] = sweep(base)
-    if include_grizzly:
-        base = Scenario(
-            trace="grizzly",
-            n_nodes=scale.grizzly_nodes,
-            n_jobs=scale.grizzly_jobs,
-            seed=seed,
-        )
-        panels["grizzly"] = sweep(base, repeats=grizzly_repeats)
+        panels[name] = out
     return panels
 
 
@@ -245,11 +274,44 @@ def figure8_overestimation(
     mix: float = 0.5,
     include_grizzly: bool = True,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[str, Dict[float, Dict[int, PolicyBars]]]:
-    """Normalised throughput: row -> overestimation -> level -> policy."""
+    """Normalised throughput: row -> overestimation -> level -> policy.
+
+    ``workers > 1`` precomputes the grid over a process pool with
+    identical values (:mod:`repro.experiments.parallel`).
+    """
     rows = {"large=50%": ("synthetic", mix)}
     if include_grizzly:
         rows["grizzly"] = ("grizzly", mix)
+
+    def grid_scenarios():
+        for trace, row_mix in rows.values():
+            n_nodes = scale.grizzly_nodes if trace == "grizzly" else scale.n_nodes
+            n_jobs = scale.grizzly_jobs if trace == "grizzly" else scale.n_jobs
+            for ovr in overestimations:
+                for level in memory_levels:
+                    for policy in ("baseline", "static", "dynamic"):
+                        yield Scenario(
+                            trace=trace,
+                            policy=policy,
+                            memory_level=level,
+                            frac_large=row_mix,
+                            overestimation=ovr,
+                            n_nodes=n_nodes,
+                            n_jobs=n_jobs,
+                            seed=seed,
+                        )
+
+    norm_lookup = None
+    if workers > 1:
+        norm_lookup = run_grid(list(grid_scenarios()), workers=workers)
+
+    def norm(sc: Scenario) -> Optional[float]:
+        if norm_lookup is None:
+            return normalized(sc)
+        return norm_lookup[scenario_key(sc)]["normalized_throughput"]
+
     out: Dict[str, Dict[float, Dict[int, PolicyBars]]] = {}
     for row_name, (trace, row_mix) in rows.items():
         n_nodes = scale.grizzly_nodes if trace == "grizzly" else scale.n_nodes
@@ -270,7 +332,7 @@ def figure8_overestimation(
                         n_jobs=n_jobs,
                         seed=seed,
                     )
-                    bars[policy] = normalized(sc)
+                    bars[policy] = norm(sc)
                 out[row_name][ovr][level] = bars
     return out
 

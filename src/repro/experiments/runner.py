@@ -6,11 +6,18 @@ the paper's §3.2.1 procedure) and share reference runs (Fig. 5/8
 normalise every bar by the baseline on the 100%-memory system).  The
 module-level caches make each unique simulation run exactly once per
 process.
+
+Both caches are LRU-bounded: a full-scale campaign walks hundreds of
+scenarios whose workloads hold per-job usage traces, so unbounded
+memoisation would grow without limit over the run.  ``clear_caches()``
+remains the hard reset (used by the :mod:`repro.experiments.parallel`
+pool workers); :func:`set_cache_limits` resizes the bounds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Hashable, List, Optional
 
 from ..core.rng import stable_seed
 from ..metrics.records import SimulationResult
@@ -19,13 +26,79 @@ from ..traces.pipeline import grizzly_workload, synthetic_workload
 from ..traces.workload import Workload
 from .scenarios import Scenario
 
-_workload_cache: Dict[tuple, Workload] = {}
-_result_cache: Dict[tuple, SimulationResult] = {}
+
+class LRUCache:
+    """Size-bounded mapping evicting the least-recently-used entry.
+
+    ``get`` refreshes recency; ``put`` inserts/refreshes and evicts from
+    the cold end until the bound holds.  Deliberately minimal — only
+    what the runner caches need.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used."""
+        return list(self._data.keys())
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Default cache bounds.  Workloads dominate memory (per-job usage
+#: traces), so they get the tighter bound; results keep the reference
+#: runs of a whole figure grid resident.
+WORKLOAD_CACHE_SIZE = 8
+RESULT_CACHE_SIZE = 64
+
+_workload_cache = LRUCache(WORKLOAD_CACHE_SIZE)
+_result_cache = LRUCache(RESULT_CACHE_SIZE)
 
 
 def clear_caches() -> None:
     _workload_cache.clear()
     _result_cache.clear()
+
+
+def set_cache_limits(
+    workloads: Optional[int] = None, results: Optional[int] = None
+) -> None:
+    """Resize the module caches (evicting LRU entries as needed)."""
+    if workloads is not None:
+        _workload_cache.resize(workloads)
+    if results is not None:
+        _result_cache.resize(results)
 
 
 def base_workload(scenario: Scenario) -> Workload:
@@ -52,7 +125,7 @@ def base_workload(scenario: Scenario) -> Workload:
             max_job_nodes=scenario.effective_max_job_nodes(),
             seed=seed,
         )
-    _workload_cache[key] = wl
+    _workload_cache.put(key, wl)
     return wl
 
 
@@ -79,15 +152,20 @@ def run(scenario: Scenario) -> SimulationResult:
         profiles=wl.profiles,
     )
     res.meta["scenario"] = scenario
-    _result_cache[key] = res
+    _result_cache.put(key, res)
     return res
 
 
+def reference_scenario(scenario: Scenario) -> Scenario:
+    """The normalisation reference of ``scenario``: baseline policy,
+    100% memory, 0% overestimation, same trace/mix/scale (paper Fig. 5
+    caption)."""
+    return scenario.with_(policy="baseline", memory_level=100, overestimation=0.0)
+
+
 def reference(scenario: Scenario) -> SimulationResult:
-    """The normalisation reference: baseline policy, 100% memory, 0%
-    overestimation, same trace/mix/scale (paper Fig. 5 caption)."""
-    ref = scenario.with_(policy="baseline", memory_level=100, overestimation=0.0)
-    return run(ref)
+    """The normalisation reference run (see :func:`reference_scenario`)."""
+    return run(reference_scenario(scenario))
 
 
 def normalized(scenario: Scenario) -> Optional[float]:
@@ -102,19 +180,42 @@ def normalized(scenario: Scenario) -> Optional[float]:
     return res.throughput() / t_ref
 
 
+def repeat_seed(base_seed: int, rep: int) -> int:
+    """Trace seed of repetition ``rep`` for a scenario seeded ``base_seed``.
+
+    Repetition 0 is the scenario's own seed; later repetitions derive
+    through :func:`repro.core.rng.stable_seed` so that neighbouring base
+    seeds never share repeat streams (the old ``seed + 1000 * rep``
+    scheme collided: bases 0 and 1000 produced overlapping sequences).
+    """
+    if rep < 0:
+        raise ValueError(f"repetition index must be >= 0, got {rep}")
+    if rep == 0:
+        return base_seed
+    return stable_seed("normalized-mean-repeat", base_seed, rep)
+
+
+def repeat_scenarios(scenario: Scenario, repeats: int) -> List[Scenario]:
+    """The ``repeats`` independent-seed variants of ``scenario``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return [
+        scenario.with_(seed=repeat_seed(scenario.seed, rep))
+        for rep in range(repeats)
+    ]
+
+
 def normalized_mean(scenario: Scenario, repeats: int = 1) -> Optional[float]:
     """Mean normalised throughput over ``repeats`` trace seeds.
 
     The paper simulates seven sampled Grizzly weeks per configuration;
-    this averages independent generated weeks (seed offsets) the same
-    way.  Returns ``None`` if *any* repetition had unrunnable jobs, per
-    the paper's missing-bar convention.
+    this averages independent generated weeks (stable derived seeds) the
+    same way.  Returns ``None`` if *any* repetition had unrunnable jobs,
+    per the paper's missing-bar convention.
     """
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
     values = []
-    for rep in range(repeats):
-        value = normalized(scenario.with_(seed=scenario.seed + 1000 * rep))
+    for rep_scenario in repeat_scenarios(scenario, repeats):
+        value = normalized(rep_scenario)
         if value is None:
             return None
         values.append(value)

@@ -4,7 +4,9 @@ The figure producers hard-code the paper's grids; ``sweep`` exposes the
 same machinery for ad-hoc studies: give a base scenario and lists of
 values for any scenario fields, get one result record per grid point
 (cartesian product), with normalised throughput included.  Used by the
-CLI's ``sweep`` command and available as a public API.
+CLI's ``sweep`` command and available as a public API.  ``workers > 1``
+fans the grid out over a process pool (identical records, see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import itertools
 from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence
 
-from .runner import normalized, run
+from .parallel import run_grid, scenario_key
 from .scenarios import Scenario
 
 #: Scenario fields that may be swept.
@@ -23,6 +25,7 @@ SWEEPABLE = tuple(f.name for f in dataclass_fields(Scenario))
 def sweep(
     base: Scenario,
     order: Optional[Sequence[str]] = None,
+    workers: int = 1,
     **axes: Sequence,
 ) -> List[Dict[str, object]]:
     """Run the cartesian product of ``axes`` over ``base``.
@@ -46,20 +49,21 @@ def sweep(
     names = list(order) if order is not None else list(axes)
     if set(names) != set(axes):
         raise ValueError("order must name exactly the swept fields")
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    scenarios = [base.with_(**dict(zip(names, combo))) for combo in combos]
+    raw_by_key = run_grid(scenarios, workers=workers)
     records: List[Dict[str, object]] = []
-    for combo in itertools.product(*(axes[n] for n in names)):
-        scenario = base.with_(**dict(zip(names, combo)))
-        result = run(scenario)
-        norm = normalized(scenario)
+    for combo, scenario in zip(combos, scenarios):
+        raw = raw_by_key[scenario_key(scenario)]
         rec: Dict[str, object] = dict(zip(names, combo))
         rec.update(
             {
-                "normalized_throughput": norm,
-                "throughput_jobs_per_s": result.throughput(),
-                "median_response_s": result.median_response_time(),
-                "memory_utilization": result.memory_utilization(),
-                "oom_kills": result.oom_kills,
-                "unrunnable": result.n_unrunnable,
+                "normalized_throughput": raw["normalized_throughput"],
+                "throughput_jobs_per_s": raw["throughput"],
+                "median_response_s": raw["median_response_s"],
+                "memory_utilization": raw["memory_utilization"],
+                "oom_kills": raw["oom_kills"],
+                "unrunnable": raw["unrunnable"],
             }
         )
         records.append(rec)

@@ -138,6 +138,36 @@ def test_figure5_plot_flag(capsys):
     assert args.plot is True
 
 
+def test_workers_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["campaign", "fig5", "--out", "x.jsonl",
+                              "--workers", "4", "--mixes", "0.5",
+                              "--memory-levels", "50", "100",
+                              "--overestimations", "0.0"])
+    assert args.workers == 4
+    assert args.mixes == [0.5]
+    assert args.memory_levels == [50, 100]
+    assert parser.parse_args(["sweep", "--workers", "2"]).workers == 2
+    assert parser.parse_args(["figure", "5", "--workers", "3"]).workers == 3
+
+
+def test_campaign_cli_subset_grid_parallel(tmp_path, capsys):
+    out = tmp_path / "camp.jsonl"
+    rc = main(["campaign", "fig5", "--scale", "small", "--out", str(out),
+               "--mixes", "0.0", "--memory-levels", "100",
+               "--overestimations", "0.0", "--workers", "2"])
+    assert rc == 0
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == 3  # one record per policy
+    for line in lines:
+        rec = json.loads(line)
+        assert rec["scenario"]["memory_level"] == 100
+        assert rec["scenario"]["frac_large"] == 0.0
+    out_text = capsys.readouterr().out
+    assert "3 scenarios" in out_text
+    assert "campaign complete" in out_text
+
+
 def test_lint_command_clean_tree(capsys):
     # Default paths = the installed repro package, which ships lint-clean.
     rc = main(["lint"])

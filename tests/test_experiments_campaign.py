@@ -61,6 +61,65 @@ def test_campaign_progress_callback(tmp_path):
     assert seen == [(1, 2, "static"), (2, 2, "dynamic")]
 
 
+def test_campaign_resumes_after_truncated_line(tmp_path, caplog):
+    # A killed campaign leaves a partially written trailing line; resume
+    # must repair the file and re-run only the affected scenario.
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios(), path)
+    lines = path.read_text().splitlines(keepends=True)
+    assert len(lines) == 2
+    path.write_text(lines[0] + lines[1][:40])  # truncated, no newline
+    records = run_campaign(scenarios(), path)
+    assert len(records) == 2
+    parsed = [json.loads(line) for line in path.read_text().splitlines()]
+    assert {p["key"] for p in parsed} == {r["key"] for r in records}
+    # the intact first record was neither re-run nor rewritten
+    assert path.read_text().startswith(lines[0])
+    assert "corrupt" in caplog.text
+
+
+def test_campaign_repairs_corrupt_middle_line(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios(), path)
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text(lines[0] + "{not json}\n" + lines[1])
+    records = run_campaign(scenarios(), path)
+    assert len(records) == 2
+    # repaired file: every line parses, garbage gone
+    for line in path.read_text().splitlines():
+        json.loads(line)
+    assert "not json" not in path.read_text()
+
+
+def test_campaign_tolerates_blank_lines(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios()[:1], path)
+    with open(path, "a") as fh:
+        fh.write("\n\n")
+    records = run_campaign(scenarios(), path)
+    assert len(records) == 2
+
+
+def test_campaign_parallel_identical_to_serial(tmp_path):
+    serial = tmp_path / "serial.jsonl"
+    parallel = tmp_path / "parallel.jsonl"
+    run_campaign(scenarios(), serial, workers=1)
+    runner.clear_caches()
+    run_campaign(scenarios(), parallel, workers=4)
+    assert (sorted(serial.read_text().splitlines())
+            == sorted(parallel.read_text().splitlines()))
+
+
+def test_campaign_parallel_resumes(tmp_path):
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios()[:1], path, workers=2)
+    first = path.read_text()
+    records = run_campaign(scenarios(), path, workers=2)
+    assert len(records) == 2
+    assert path.read_text().startswith(first)
+    assert len(path.read_text().strip().splitlines()) == 2
+
+
 def test_scenario_key_stable_and_distinct():
     a, b = scenarios()
     assert scenario_key(a) == scenario_key(a)

@@ -54,7 +54,7 @@ def test_normalized_mean_averages_seeds():
     sc = Scenario(policy="dynamic", memory_level=100, **SMALL)
     mean = runner.normalized_mean(sc, repeats=2)
     a = runner.normalized(sc)
-    b = runner.normalized(sc.with_(seed=sc.seed + 1000))
+    b = runner.normalized(sc.with_(seed=runner.repeat_seed(sc.seed, 1)))
     assert mean == pytest.approx((a + b) / 2)
 
 
@@ -62,6 +62,83 @@ def test_normalized_mean_validates():
     sc = Scenario(**SMALL)
     with pytest.raises(ValueError):
         runner.normalized_mean(sc, repeats=0)
+
+
+# ----------------------------------------------------------------------
+# Repeat-seed derivation (stable_seed, no neighbouring-base collisions)
+# ----------------------------------------------------------------------
+def test_repeat_seed_rep0_is_base():
+    assert runner.repeat_seed(7, 0) == 7
+
+
+def test_repeat_seed_no_collision_between_neighbouring_bases():
+    # The old scheme (seed + 1000 * rep) made bases 0 and 1000 share
+    # streams: base 0 / rep 1 == base 1000 / rep 0.  Gone now.
+    streams = {
+        base: [runner.repeat_seed(base, rep) for rep in range(5)]
+        for base in (0, 1000, 2000)
+    }
+    for base, seq in streams.items():
+        assert seq[0] == base
+        assert len(set(seq)) == len(seq)
+    assert not set(streams[0][1:]) & set(streams[1000])
+    assert not set(streams[1000][1:]) & set(streams[2000])
+    assert runner.repeat_seed(0, 1) != 1000
+
+
+def test_repeat_seed_deterministic_and_validated():
+    assert runner.repeat_seed(3, 2) == runner.repeat_seed(3, 2)
+    with pytest.raises(ValueError):
+        runner.repeat_seed(0, -1)
+
+
+def test_repeat_scenarios_structure():
+    sc = Scenario(**SMALL)
+    reps = runner.repeat_scenarios(sc, 3)
+    assert [r.seed for r in reps][0] == sc.seed
+    assert len({r.seed for r in reps}) == 3
+    assert all(r.with_(seed=0) == sc.with_(seed=0) for r in reps)
+
+
+# ----------------------------------------------------------------------
+# LRU cache bounds
+# ----------------------------------------------------------------------
+def test_lru_cache_evicts_least_recently_used():
+    cache = runner.LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refresh 'a'
+    cache.put("c", 3)                   # evicts 'b'
+    assert "b" not in cache
+    assert cache.keys() == ["a", "c"]
+    assert len(cache) == 2
+
+
+def test_lru_cache_resize_evicts():
+    cache = runner.LRUCache(4)
+    for i in range(4):
+        cache.put(i, i)
+    cache.resize(2)
+    assert cache.keys() == [2, 3]
+    with pytest.raises(ValueError):
+        cache.resize(0)
+    with pytest.raises(ValueError):
+        runner.LRUCache(0)
+
+
+def test_result_cache_bounded_over_campaign():
+    runner.set_cache_limits(workloads=2, results=2)
+    try:
+        for level in (37, 50, 75, 100):
+            runner.run(Scenario(memory_level=level, **SMALL))
+        assert len(runner._result_cache) <= 2
+        assert len(runner._workload_cache) <= 2
+    finally:
+        runner.set_cache_limits(
+            workloads=runner.WORKLOAD_CACHE_SIZE,
+            results=runner.RESULT_CACHE_SIZE,
+        )
+        runner.clear_caches()
 
 
 def test_overestimated_run_uses_scaled_requests():
