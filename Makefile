@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-json test check bench-parallel
+.PHONY: lint lint-json test check bench-parallel bench-obs obs-smoke
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -28,3 +28,12 @@ check: lint test
 # Serial-vs-parallel campaign timing; writes benchmarks/output/BENCH_parallel.json
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py --workers 4
+
+# Telemetry overhead + hot-path profile; writes benchmarks/output/BENCH_obs.json
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
+
+# Fast observability smoke: 20-job observed sim, asserts the metrics
+# dumps repeat byte-identically and the Prometheus export parses.
+obs-smoke:
+	$(PYTHON) benchmarks/bench_obs.py --jobs 20 --nodes 48 --repeats 2

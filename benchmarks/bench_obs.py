@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Observability benchmark: telemetry overhead + hot-path flame table.
+
+Three measurements over the same synthetic workload:
+
+1. **Baseline** — ``simulate()`` with telemetry disabled (the
+   ``NULL_TELEMETRY`` no-op path); best-of-``--repeats`` wall time.
+2. **Observed** — the same run with a full :class:`repro.obs.Telemetry`
+   attached (metrics, spans, sampled series, event log); asserts the
+   metrics dumps are byte-identical across repeats and that the
+   Prometheus export parses.
+3. **Profiled** — one observed run with ``perf_section`` profiling
+   enabled; prints the flame-style table and records it.
+
+Writes ``benchmarks/output/BENCH_obs.json``:
+
+```json
+{"n_jobs": 200, "n_nodes": 96, "baseline_s": 1.91, "observed_s": 2.02,
+ "overhead_frac": 0.056, "identical_dumps": true, "prometheus_ok": true,
+ "profile": {"simulate.engine_run": {"calls": 1, ...}, ...}}
+```
+
+Usage (``make obs-smoke`` runs the 20-job variant; CI uploads the JSON):
+
+    python benchmarks/bench_obs.py [--jobs 200] [--nodes 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import SystemConfig  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    metrics_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.profiling import (  # noqa: E402
+    disable_profiling,
+    enable_profiling,
+)
+from repro.obs.telemetry import Telemetry  # noqa: E402
+from repro.scheduler.simulator import simulate  # noqa: E402
+from repro.traces.pipeline import synthetic_workload  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def _run(wl, config, policy: str, telemetry=None):
+    return simulate(wl.fresh_jobs(), config, policy=policy,
+                    profiles=wl.profiles, telemetry=telemetry)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=200)
+    ap.add_argument("--nodes", type=int, default=96)
+    ap.add_argument("--policy", default="dynamic",
+                    choices=("baseline", "static", "dynamic"))
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--out", default=str(OUTPUT_DIR / "BENCH_obs.json"))
+    args = ap.parse_args(argv)
+
+    wl = synthetic_workload(n_jobs=args.jobs, n_system_nodes=args.nodes,
+                            seed=args.seed)
+    config = SystemConfig.from_memory_level(100, n_nodes=args.nodes)
+    print(f"benchmarking telemetry overhead: {args.jobs} jobs, "
+          f"{args.nodes} nodes, {args.policy} policy, "
+          f"best of {args.repeats}")
+
+    baseline_s = min(
+        _timed(lambda: _run(wl, config, args.policy))
+        for _ in range(args.repeats)
+    )
+    print(f"baseline (telemetry off): {baseline_s:8.3f} s")
+
+    observed_s = float("inf")
+    dumps = set()
+    telemetry = None
+    for _ in range(args.repeats):
+        telemetry = Telemetry()
+        observed_s = min(
+            observed_s, _timed(lambda: _run(wl, config, args.policy,
+                                            telemetry))
+        )
+        dumps.add(metrics_jsonl(telemetry.registry))
+    identical = len(dumps) == 1
+    print(f"observed (full telemetry): {observed_s:8.3f} s")
+
+    prom = prometheus_text(telemetry.registry)
+    try:
+        samples = parse_prometheus_text(prom)
+        prometheus_ok = len(samples) > 0
+    except ValueError as exc:
+        print(f"prometheus dump FAILED to parse: {exc}")
+        prometheus_ok = False
+
+    agg = enable_profiling()
+    _run(wl, config, args.policy, Telemetry())
+    disable_profiling()
+    print()
+    print(agg.table())
+
+    overhead = (observed_s - baseline_s) / baseline_s if baseline_s else None
+    record = {
+        "n_jobs": args.jobs,
+        "n_nodes": args.nodes,
+        "policy": args.policy,
+        "repeats": args.repeats,
+        "baseline_s": round(baseline_s, 4),
+        "observed_s": round(observed_s, 4),
+        "overhead_frac": round(overhead, 4) if overhead is not None else None,
+        "identical_dumps": identical,
+        "prometheus_ok": prometheus_ok,
+        "prometheus_samples": len(samples) if prometheus_ok else 0,
+        "profile": agg.to_record(),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(f"telemetry overhead: {overhead:+.1%}  "
+          f"(dumps identical: {identical}, prometheus ok: {prometheus_ok}); "
+          f"wrote {out}")
+    return 0 if (identical and prometheus_ok) else 1
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,19 +9,27 @@
 * ``figure`` / ``table`` — regenerate any of the paper's figures/tables
   and print the report;
 * ``inspect`` — characterise a saved workload (Table 2/3 style);
+* ``trace`` — summarise a telemetry directory written by
+  ``simulate --telemetry`` / ``campaign --telemetry`` (top-N slowest
+  control-loop phases, metric catalogue, ``--job N`` lifecycle);
 * ``lint`` — run the AST-based simulation-correctness linter
   (see ``docs/STATIC_ANALYSIS.md``).
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``.  ``-q``/``--quiet``
+silences status lines (results and tables always print);
+``-v``/``--verbose`` adds diagnostics.  Both are accepted before or
+after the subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import List, Optional
 
 from .core.config import MEMORY_LEVELS, SystemConfig
+from .obs.console import NORMAL, QUIET, VERBOSE, console
 from .experiments import figures as _figures
 from .experiments import tables as _tables
 from .experiments.report import (
@@ -45,16 +53,35 @@ from .traces.io import (
 from .traces.pipeline import grizzly_workload, synthetic_workload
 
 
+def _verbosity_parser() -> argparse.ArgumentParser:
+    """Shared ``-v``/``-q`` flags, usable before or after the subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_mutually_exclusive_group()
+    # SUPPRESS keeps an absent flag out of the subparser's namespace, so
+    # the subcommand's defaults never clobber a ``repro -q <cmd>`` given
+    # before the subcommand (argparse subparsers re-apply defaults).
+    group.add_argument("-v", "--verbose", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="show extra diagnostics")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="silence status lines (results still print)")
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = _verbosity_parser()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dynamic memory provisioning on disaggregated HPC "
         "systems (SC-W 2023) - reproduction toolkit",
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     # ------------------------------------------------------------------
-    gen = sub.add_parser("generate", help="generate a workload trace")
+    gen = sub.add_parser("generate", help="generate a workload trace",
+                         parents=[common])
     gen.add_argument("--kind", choices=("synthetic", "grizzly"),
                      default="synthetic")
     gen.add_argument("--jobs", type=int, default=1000)
@@ -70,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--swf", help="also export to this SWF path")
 
     # ------------------------------------------------------------------
-    sim = sub.add_parser("simulate", help="run one scheduling simulation")
+    sim = sub.add_parser("simulate", help="run one scheduling simulation",
+                         parents=[common])
     sim.add_argument("--workload", help="saved workload (from 'generate')")
     sim.add_argument("--jobs", type=int, default=500,
                      help="jobs to generate when no workload file is given")
@@ -87,9 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--csv", help="write per-job records CSV here")
     sim.add_argument("--timeline", action="store_true",
                      help="render an ASCII occupancy strip and Gantt chart")
+    sim.add_argument("--telemetry", metavar="DIR",
+                     help="observe the run and export metrics/spans/events "
+                          "to this directory (read back with 'repro trace')")
 
     # ------------------------------------------------------------------
-    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig = sub.add_parser("figure", help="regenerate a paper figure",
+                         parents=[common])
     fig.add_argument("number", type=int, choices=(2, 4, 5, 6, 7, 8, 9))
     fig.add_argument("--scale", choices=sorted(SCALES), default="small")
     fig.add_argument("--seed", type=int, default=0)
@@ -100,23 +132,27 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--workers", type=int, default=1,
                      help="process-pool size for figures 5/8 (1 = serial)")
 
-    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab = sub.add_parser("table", help="regenerate a paper table",
+                         parents=[common])
     tab.add_argument("number", type=int, choices=(1, 2, 3))
     tab.add_argument("--seed", type=int, default=0)
 
     # ------------------------------------------------------------------
-    ins = sub.add_parser("inspect", help="characterise a saved workload")
+    ins = sub.add_parser("inspect", help="characterise a saved workload",
+                         parents=[common])
     ins.add_argument("workload")
 
     val = sub.add_parser(
         "validate",
         help="check a saved workload against the paper's statistics",
+        parents=[common],
     )
     val.add_argument("workload")
     val.add_argument("--tolerance", type=float, default=0.35,
                      help="allowed relative deviation of Table 3 quartiles")
 
-    sw = sub.add_parser("sweep", help="run an ad-hoc scenario sweep")
+    sw = sub.add_parser("sweep", help="run an ad-hoc scenario sweep",
+                        parents=[common])
     sw.add_argument("--policy", nargs="+",
                     default=["static", "dynamic"],
                     choices=("baseline", "static", "dynamic"))
@@ -133,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp = sub.add_parser(
         "campaign",
         help="run a resumable full-grid campaign (JSONL checkpointing)",
+        parents=[common],
     )
     camp.add_argument("grid", choices=("fig5", "fig8"))
     camp.add_argument("--out", required=True, help="JSONL checkpoint path")
@@ -149,10 +186,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="subset of provisioning levels to run")
     camp.add_argument("--overestimations", nargs="+", type=float,
                       metavar="FRAC", help="subset of overestimation factors")
+    camp.add_argument("--telemetry", metavar="DIR",
+                      help="collect per-scenario metric dumps under DIR and "
+                           "merge them (deterministically) into "
+                           "DIR/metrics.{jsonl,csv,prom}")
+
+    # ------------------------------------------------------------------
+    tr = sub.add_parser(
+        "trace",
+        help="summarise a telemetry directory "
+             "(from 'simulate --telemetry' / 'campaign --telemetry')",
+        parents=[common],
+    )
+    tr.add_argument("directory", help="telemetry directory to read")
+    tr.add_argument("--top", type=int, default=10,
+                    help="slowest control-loop phases to show (default 10)")
+    tr.add_argument("--job", type=int, metavar="JID",
+                    help="explain one job: reconstruct its lifecycle "
+                         "from the exported event log")
+    tr.add_argument("--series", action="store_true",
+                    help="also render the sampled time series as ASCII "
+                         "strip charts")
 
     lint = sub.add_parser(
         "lint",
         help="run the simulation-correctness linter (docs/STATIC_ANALYSIS.md)",
+        parents=[common],
     )
     from .analysis.cli import add_lint_arguments
 
@@ -180,11 +239,13 @@ def _cmd_generate(args) -> int:
             seed=args.seed,
         )
     save_workload(wl, args.out)
-    print(f"wrote {len(wl)} jobs to {args.out} "
-          f"({wl.frac_large_memory():.0%} large-memory)")
+    console.status(f"wrote {len(wl)} jobs to {args.out} "
+                   f"({wl.frac_large_memory():.0%} large-memory)")
+    for key, value in wl.meta.items():
+        console.detail(f"  {key}: {value}")
     if args.swf:
         wl.to_swf().write(args.swf)
-        print(f"wrote SWF trace to {args.swf}")
+        console.status(f"wrote SWF trace to {args.swf}")
     return 0
 
 
@@ -207,26 +268,45 @@ def _cmd_simulate(args) -> int:
         args.memory_level, n_nodes=args.nodes,
         update_interval=args.update_interval,
     )
+    telemetry = None
+    if args.telemetry:
+        from .obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    console.detail(f"simulating {len(jobs)} jobs on {args.nodes} nodes "
+                   f"({args.policy}, {args.memory_level}% memory, "
+                   f"update interval {args.update_interval:g}s)")
     result = _simulate(
         jobs, config, policy=args.policy, profiles=profiles,
         sample_interval=300.0 if args.timeline else None,
+        telemetry=telemetry,
     )
     rows = [[k, v] for k, v in result.summary().items()]
-    print(render_table(["metric", "value"], rows,
-                       title=f"{args.policy} on {args.memory_level}% memory, "
-                             f"{args.nodes} nodes"))
+    console.result(
+        render_table(["metric", "value"], rows,
+                     title=f"{args.policy} on {args.memory_level}% memory, "
+                           f"{args.nodes} nodes"))
     if args.timeline:
         from .experiments.timeline import render_run
 
-        print()
-        print(render_run(result))
+        console.result()
+        console.result(render_run(result))
     if args.out:
         save_result(result, args.out)
-        print(f"wrote result to {args.out}")
+        console.status(f"wrote result to {args.out}")
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(result_records_csv(result))
-        print(f"wrote per-job CSV to {args.csv}")
+        console.status(f"wrote per-job CSV to {args.csv}")
+    if telemetry is not None:
+        telemetry.export(args.telemetry)
+        n_spans = len(telemetry.tracer) if telemetry.tracer else 0
+        n_events = len(telemetry.event_log) if telemetry.event_log else 0
+        console.status(
+            f"wrote telemetry to {args.telemetry} "
+            f"({len(telemetry.registry.counters)} counters, "
+            f"{n_spans} spans, {n_events} events); "
+            f"inspect with: repro trace {args.telemetry}")
     return 0
 
 
@@ -240,7 +320,7 @@ def _cmd_figure(args) -> int:
         if args.csv:
             with open(args.csv, "w") as fh:
                 fh.write(text)
-            print(f"wrote CSV to {args.csv}")
+            console.status(f"wrote CSV to {args.csv}")
     if n == 2:
         data = _figures.figure2_week_sampling(
             n_nodes=scale.grizzly_nodes, seed=args.seed
@@ -253,13 +333,13 @@ def _cmd_figure(args) -> int:
              "selected" if w in selected else ""]
             for w in range(len(data["utilization"]))
         ]
-        print(render_table(
+        console.result(render_table(
             ["week", "cpu util", "max nh", "max mem", ""], rows,
             title="Fig. 2: week sampling"))
         if args.plot:
             hl = [w in selected for w in range(len(data["utilization"]))]
-            print()
-            print(ascii_scatter(
+            console.result()
+            console.result(ascii_scatter(
                 data["utilization"], data["max_memory_norm"], highlight=hl,
                 title="Fig. 2 (right): max memory vs CPU utilisation",
                 xlabel="CPU utilisation",
@@ -268,9 +348,9 @@ def _cmd_figure(args) -> int:
         from .experiments.export import heatmap_csv
 
         data = _figures.figure4_memory_heatmap(seed=args.seed)
-        print(render_heatmap(data["avg"], "Fig. 4a: average memory usage"))
-        print()
-        print(render_heatmap(data["max"], "Fig. 4b: maximum memory usage"))
+        console.result(render_heatmap(data["avg"], "Fig. 4a: average memory usage"))
+        console.result()
+        console.result(render_heatmap(data["max"], "Fig. 4b: maximum memory usage"))
         maybe_csv(heatmap_csv(data["avg"], "avg") + heatmap_csv(data["max"], "max"))
     elif n in (5, 8):
         from .experiments.export import figure5_csv
@@ -281,7 +361,7 @@ def _cmd_figure(args) -> int:
         else:
             data = _figures.figure8_overestimation(scale=scale, seed=args.seed,
                                                    workers=args.workers)
-        print(render_figure5(data))
+        console.result(render_figure5(data))
         maybe_csv(figure5_csv(data))
         if args.plot:
             # Plot the most telling panel: highest overestimation row of
@@ -293,8 +373,8 @@ def _cmd_figure(args) -> int:
                 policy: [panel[ovr][lvl].get(policy) for lvl in levels]
                 for policy in ("baseline", "static", "dynamic")
             }
-            print()
-            print(ascii_bars(
+            console.result()
+            console.result(ascii_bars(
                 levels, series, vmax=1.0,
                 title=f"normalised throughput at +{int(ovr*100)}% "
                       "overestimation (50% large jobs)",
@@ -303,13 +383,13 @@ def _cmd_figure(args) -> int:
         from .experiments.export import figure6_csv
 
         data = _figures.figure6_response_ecdf(scale=scale, seed=args.seed)
-        print(render_figure6(_figures.figure6_median_reductions(data)))
+        console.result(render_figure6(_figures.figure6_median_reductions(data)))
         maybe_csv(figure6_csv(data))
         if args.plot:
             curves = data["underprovisioned"][max(
                 data["underprovisioned"])]
-            print()
-            print(ascii_ecdf(
+            console.result()
+            console.result(ascii_ecdf(
                 curves,
                 title="Fig. 6 (bottom right): response-time ECDF, "
                       "underprovisioned, +60%",
@@ -318,13 +398,13 @@ def _cmd_figure(args) -> int:
         from .experiments.export import figure7_csv
 
         data = _figures.figure7_cost_benefit(scale=scale, seed=args.seed)
-        print(render_figure7(data))
+        console.result(render_figure7(data))
         maybe_csv(figure7_csv(data))
     elif n == 9:
         from .experiments.export import figure9_csv
 
         data = _figures.figure9_min_memory(scale=scale, seed=args.seed)
-        print(render_figure9(data))
+        console.result(render_figure9(data))
         maybe_csv(figure9_csv(data))
         if args.plot:
             overs = sorted(data["static"])
@@ -332,8 +412,8 @@ def _cmd_figure(args) -> int:
                 policy: [data[policy][o] for o in overs]
                 for policy in ("static", "dynamic")
             }
-            print()
-            print(ascii_bars(
+            console.result()
+            console.result(ascii_bars(
                 [f"+{int(o*100)}%" for o in overs], series,
                 title="Fig. 9: min memory % for the 95% throughput SLO",
             ))
@@ -345,24 +425,25 @@ def _cmd_table(args) -> int:
     if n == 1:
         rows = _tables.table1_trace_summary()
         headers = list(rows[0].keys())
-        print(render_table(headers, [[r[h] for h in headers] for r in rows],
+        console.result(render_table(headers, [[r[h] for h in headers] for r in rows],
                            title="Table 1"))
     elif n == 2:
-        print(render_table2(_tables.table2_memory_distribution(seed=args.seed)))
+        console.result(render_table2(_tables.table2_memory_distribution(seed=args.seed)))
     elif n == 3:
-        print(render_table3(_tables.table3_job_characteristics(seed=args.seed)))
+        console.result(render_table3(_tables.table3_job_characteristics(seed=args.seed)))
     return 0
 
 
 def _cmd_inspect(args) -> int:
     wl = load_workload(args.workload)
-    print(f"{len(wl)} jobs; {wl.frac_large_memory():.1%} large-memory")
+    console.result(f"{len(wl)} jobs; {wl.frac_large_memory():.1%} "
+                   "large-memory")
     for key, value in wl.meta.items():
-        print(f"  {key}: {value}")
-    print()
-    print(render_table3(wl.memory_class_stats()))
-    print()
-    print(render_heatmap(wl.memory_heatmap("max"),
+        console.result(f"  {key}: {value}")
+    console.result()
+    console.result(render_table3(wl.memory_class_stats()))
+    console.result()
+    console.result(render_heatmap(wl.memory_heatmap("max"),
                          "Maximum memory usage (% of jobs)"))
     return 0
 
@@ -372,7 +453,7 @@ def _cmd_validate(args) -> int:
 
     wl = load_workload(args.workload)
     report = validate_workload(wl, quartile_tolerance=args.tolerance)
-    print(report.render())
+    console.result(report.render())
     return 0 if report.passed else 1
 
 
@@ -390,7 +471,7 @@ def _cmd_sweep(args) -> int:
         overestimation=args.overestimation,
     )
     headers, rows = sweep_table(records)
-    print(render_table(headers, rows, title="Scenario sweep"))
+    console.result(render_table(headers, rows, title="Scenario sweep"))
     return 0
 
 
@@ -415,15 +496,66 @@ def _cmd_campaign(args) -> int:
         if args.mixes:
             kw["mix"] = args.mixes[0]
         grid = fig8_scenarios(scale=scale, seed=args.seed, **kw)
-    print(f"{args.grid}: {len(grid)} scenarios at scale {args.scale} "
-          f"({args.workers} worker(s)); checkpointing to {args.out}")
+    console.status(
+        f"{args.grid}: {len(grid)} scenarios at scale {args.scale} "
+        f"({args.workers} worker(s)); checkpointing to {args.out}")
+    if args.telemetry:
+        console.status(f"collecting telemetry under {args.telemetry}")
+
+    t0 = perf_counter()
 
     def progress(i, n, sc):
-        print(f"[{i}/{n}] {sc.policy} mem={sc.memory_level}% "
-              f"large={sc.frac_large:.0%} ovr=+{sc.overestimation:.0%}")
+        elapsed = perf_counter() - t0
+        eta = elapsed / i * (n - i)
+        console.status(
+            f"[{i}/{n}] {sc.policy} mem={sc.memory_level}% "
+            f"large={sc.frac_large:.0%} ovr=+{sc.overestimation:.0%}  "
+            f"({_hms(elapsed)} elapsed, ETA {_hms(eta)})")
 
-    run_campaign(grid, args.out, progress=progress, workers=args.workers)
-    print("campaign complete")
+    run_campaign(grid, args.out, progress=progress, workers=args.workers,
+                 telemetry_dir=args.telemetry)
+    console.status(f"campaign complete ({_hms(perf_counter() - t0)})")
+    if args.telemetry:
+        console.status(
+            f"merged campaign metrics: {args.telemetry}/metrics.jsonl "
+            f"(.csv, .prom); inspect with: repro trace {args.telemetry}")
+    return 0
+
+
+def _hms(seconds: float) -> str:
+    """Compact duration: ``83.4`` -> ``1m23s``."""
+    seconds = max(0, int(round(seconds)))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}h{m:02d}m{s:02d}s"
+    if m:
+        return f"{m}m{s:02d}s"
+    return f"{s}s"
+
+
+def _cmd_trace(args) -> int:
+    from .obs.report import (
+        load_metrics_records,
+        render_job_trace,
+        render_trace_summary,
+        samples_by_name,
+    )
+
+    if args.job is not None:
+        console.result(render_job_trace(args.directory, args.job))
+        return 0
+    console.result(render_trace_summary(args.directory, top=args.top))
+    if args.series:
+        from .experiments.timeline import series_strips
+
+        samples = samples_by_name(load_metrics_records(args.directory))
+        console.result()
+        if samples:
+            console.result(series_strips(
+                samples, title="sampled series (per-row normalised)"))
+        else:
+            console.result("no sampled series in this directory")
     return 0
 
 
@@ -442,12 +574,19 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "quiet", False):
+        console.set_verbosity(QUIET)
+    elif getattr(args, "verbose", False):
+        console.set_verbosity(VERBOSE)
+    else:
+        console.set_verbosity(NORMAL)
     return _COMMANDS[args.command](args)
 
 

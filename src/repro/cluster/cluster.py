@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.config import SystemConfig
 from ..core.errors import AllocationError
+from ..obs.profiling import perf_section
 from .allocation import JobAllocation
 from .node import Node
 
@@ -119,6 +120,10 @@ class Cluster:
     # ------------------------------------------------------------------
     def apply(self, jid: int, alloc: JobAllocation) -> None:
         """Commit ``alloc`` for job ``jid``, updating every ledger."""
+        with perf_section("cluster.apply"):
+            self._apply(jid, alloc)
+
+    def _apply(self, jid: int, alloc: JobAllocation) -> None:
         if jid in self.allocations:
             raise AllocationError(f"job {jid} already has an allocation")
         # Validate before mutating anything.
@@ -168,6 +173,10 @@ class Cluster:
 
     def release(self, jid: int) -> JobAllocation:
         """Release all resources of job ``jid`` and return its allocation."""
+        with perf_section("cluster.release"):
+            return self._release(jid)
+
+    def _release(self, jid: int) -> JobAllocation:
         alloc = self.allocations.pop(jid, None)
         if alloc is None:
             raise AllocationError(f"job {jid} has no allocation to release")

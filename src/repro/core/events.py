@@ -27,7 +27,9 @@ class EventKind(IntEnum):
     JOB_SUBMIT = 3
     SCHED_PASS = 4
     SAMPLE = 5
-    END = 6
+    #: telemetry gauge sampling; runs after all state changes of the tick
+    TELEMETRY = 6
+    END = 7
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,8 +29,10 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from .parallel import run_grid, scenario_key
-from .runner import normalized, run
+from ..obs.export import metrics_csv, metrics_jsonl, prometheus_text
+from ..obs.registry import MetricsRegistry
+from .parallel import raw_result, run_grid, scenario_key
+from .runner import normalized
 from .scenarios import (
     FIG5_JOB_MIXES,
     FIG5_MEMORY_LEVELS,
@@ -43,8 +45,10 @@ from .scenarios import (
 __all__ = [
     "fig5_scenarios",
     "fig8_scenarios",
+    "merge_campaign_telemetry",
     "run_campaign",
     "scenario_key",
+    "scenario_slug",
 ]
 
 log = logging.getLogger(__name__)
@@ -99,13 +103,38 @@ def _load_done(path: Path) -> Dict[str, Dict]:
 
 
 def _record(scenario: Scenario, raw: Dict) -> Dict:
-    """Campaign JSONL record from a parallel-executor raw result."""
+    """Campaign JSONL record from a parallel-executor raw result.
+
+    ``elapsed_s`` (wall clock of the run, diagnostics) and ``n_events``
+    (deterministic engine event count) ride along so a campaign file
+    doubles as a cheap performance log.
+    """
     return {
         "key": raw["key"],
         "scenario": asdict(scenario),
         "normalized_throughput": raw["normalized_throughput"],
         "summary": raw["summary"],
+        "elapsed_s": raw.get("elapsed_s"),
+        "n_events": raw.get("n_events"),
     }
+
+
+def _slug_num(value: float) -> str:
+    """Filename-safe compact number: ``0.25`` -> ``0p25``."""
+    return f"{value:g}".replace(".", "p").replace("-", "m")
+
+
+def scenario_slug(scenario: Scenario) -> str:
+    """Filename-safe, human-readable, unique scenario identifier."""
+    return (
+        f"{scenario.trace}-{scenario.policy}"
+        f"-mem{scenario.memory_level}"
+        f"-large{_slug_num(scenario.frac_large)}"
+        f"-ovr{_slug_num(scenario.overestimation)}"
+        f"-n{scenario.n_nodes}-j{scenario.n_jobs}"
+        f"-u{_slug_num(scenario.target_utilization)}"
+        f"-s{scenario.seed}"
+    )
 
 
 def run_campaign(
@@ -113,6 +142,7 @@ def run_campaign(
     path: PathLike,
     progress: Optional[Callable[[int, int, Scenario], None]] = None,
     workers: int = 1,
+    telemetry_dir: Optional[PathLike] = None,
 ) -> List[Dict]:
     """Run ``scenarios``, appending one JSONL record each; resume-safe.
 
@@ -121,38 +151,62 @@ def run_campaign(
     pending scenarios fan out over a process pool (records identical to
     serial; file order and ``progress`` calls follow completion order,
     and ``progress`` then counts pending scenarios only).
+
+    With ``telemetry_dir`` every scenario run is observed: its
+    deterministic metrics dump is written to
+    ``telemetry_dir/scenarios/<slug>.json`` as the scenario completes
+    (resume-safe: a scenario whose dump is missing re-runs even if its
+    JSONL record exists), and after the campaign all requested
+    scenarios' registries merge — in sorted-slug order, each metric
+    prefixed ``<slug>/`` — into ``telemetry_dir/metrics.{jsonl,csv,prom}``.
+    The merged dumps are byte-identical between serial and ``workers=N``
+    executions.
     """
     path = Path(path)
     done = _load_done(path)
+    collect = telemetry_dir is not None
+    tdir = Path(telemetry_dir) if collect else None
+    if collect:
+        (tdir / "scenarios").mkdir(parents=True, exist_ok=True)
+
+    def dump_path(scenario: Scenario) -> Path:
+        return tdir / "scenarios" / f"{scenario_slug(scenario)}.json"
+
+    def needs_run(scenario: Scenario, key: str) -> bool:
+        if key not in done:
+            return True
+        return collect and not dump_path(scenario).exists()
+
     with open(path, "a") as fh:
 
         def persist(scenario: Scenario, raw: Dict) -> None:
             rec = _record(scenario, raw)
-            fh.write(json.dumps(rec) + "\n")
-            fh.flush()
-            done[rec["key"]] = rec
+            if rec["key"] not in done:
+                # A re-run forced by a missing telemetry dump must not
+                # duplicate an existing JSONL record.
+                fh.write(json.dumps(rec) + "\n")
+                fh.flush()
+                done[rec["key"]] = rec
+            if collect and "telemetry" in raw:
+                target = dump_path(scenario)
+                tmp = target.with_name(target.name + ".tmp")
+                tmp.write_text(json.dumps(raw["telemetry"], sort_keys=True))
+                os.replace(tmp, target)
 
         if workers <= 1:
             for i, scenario in enumerate(scenarios):
                 key = scenario_key(scenario)
-                if key not in done:
-                    result = run(scenario)
-                    rec = {
-                        "key": key,
-                        "scenario": asdict(scenario),
-                        "normalized_throughput": normalized(scenario),
-                        "summary": result.summary(),
-                    }
-                    fh.write(json.dumps(rec) + "\n")
-                    fh.flush()
-                    done[key] = rec
+                if needs_run(scenario, key):
+                    raw = raw_result(scenario, collect_telemetry=collect)
+                    raw["normalized_throughput"] = normalized(scenario)
+                    persist(scenario, raw)
                 if progress is not None:
                     progress(i + 1, len(scenarios), scenario)
         else:
             pending: Dict[str, Scenario] = {}
             for scenario in scenarios:
                 key = scenario_key(scenario)
-                if key not in done:
+                if needs_run(scenario, key):
                     pending.setdefault(key, scenario)
             if pending:
                 run_grid(
@@ -160,8 +214,38 @@ def run_campaign(
                     workers=workers,
                     progress=progress,
                     on_result=persist,
+                    collect_telemetry=collect,
                 )
+    if collect:
+        merge_campaign_telemetry(tdir, scenarios)
     return [done[scenario_key(sc)] for sc in scenarios]
+
+
+def merge_campaign_telemetry(
+    telemetry_dir: PathLike, scenarios: Sequence[Scenario]
+) -> MetricsRegistry:
+    """Merge per-scenario registry dumps into one campaign registry.
+
+    Scenarios merge in sorted-slug order with their slug as the metric
+    prefix, so the merged ``metrics.{jsonl,csv,prom}`` files are a pure
+    function of the scenario set — independent of completion order and
+    of how many workers ran the campaign.  Scenarios without a dump file
+    (e.g. a cancelled run) are skipped.
+    """
+    tdir = Path(telemetry_dir)
+    merged = MetricsRegistry()
+    slugs = sorted({scenario_slug(sc) for sc in scenarios})
+    for slug in slugs:
+        dump = tdir / "scenarios" / f"{slug}.json"
+        if not dump.exists():
+            log.warning("telemetry merge: missing dump for %s, skipping", slug)
+            continue
+        child = MetricsRegistry.from_dict(json.loads(dump.read_text()))
+        merged.merge(child, prefix=f"{slug}/")
+    (tdir / "metrics.jsonl").write_text(metrics_jsonl(merged))
+    (tdir / "metrics.csv").write_text(metrics_csv(merged))
+    (tdir / "metrics.prom").write_text(prometheus_text(merged))
+    return merged
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,7 @@ import json
 import math
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
+from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .runner import clear_caches, normalized, reference_scenario, run
@@ -59,15 +60,22 @@ def scenario_key(scenario: Scenario) -> str:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def raw_result(scenario: Scenario) -> Dict:
+def raw_result(scenario: Scenario, collect_telemetry: bool = False) -> Dict:
     """Simulate one scenario and flatten the result to a picklable dict.
 
     Contains everything the campaign/sweep/figure layers need, so the
     (large) :class:`SimulationResult` never crosses the process
-    boundary.
+    boundary.  ``elapsed_s`` is the wall time of this ``run()`` call
+    (zero when the result came from the runner cache) — it is volatile
+    diagnostics, stripped from :func:`run_grid`'s returned map so the
+    map stays deterministic; ``n_events`` is the simulation's processed
+    event count (deterministic).  With ``collect_telemetry`` the
+    deterministic registry dump rides along under ``"telemetry"``.
     """
-    res = run(scenario)
-    return {
+    t0 = perf_counter()
+    res = run(scenario, collect_telemetry=collect_telemetry)
+    elapsed = perf_counter() - t0
+    out = {
         "key": scenario_key(scenario),
         "throughput": res.throughput(),
         "all_jobs_ran": res.all_jobs_ran(),
@@ -76,12 +84,19 @@ def raw_result(scenario: Scenario) -> Dict:
         "oom_kills": res.oom_kills,
         "unrunnable": res.n_unrunnable,
         "summary": res.summary(),
+        "elapsed_s": round(elapsed, 6),
+        "n_events": res.events_processed,
     }
+    if collect_telemetry:
+        out["telemetry"] = res.meta["telemetry_dump"]
+    return out
 
 
-def _run_chunk(scenarios: List[Scenario]) -> List[Dict]:
+def _run_chunk(
+    scenarios: List[Scenario], collect_telemetry: bool = False
+) -> List[Dict]:
     """Pool-worker entry point: simulate one chunk of scenarios."""
-    return [raw_result(sc) for sc in scenarios]
+    return [raw_result(sc, collect_telemetry) for sc in scenarios]
 
 
 # ----------------------------------------------------------------------
@@ -135,10 +150,11 @@ def _map_chunks(
     scenarios: Sequence[Scenario],
     workers: int,
     chunk_size: Optional[int],
+    collect_telemetry: bool = False,
 ) -> Iterator[Tuple[List[Scenario], List[Dict]]]:
     """Yield ``(chunk, raw results)`` pairs in completion order."""
     futures = {
-        pool.submit(_run_chunk, chunk): chunk
+        pool.submit(_run_chunk, chunk, collect_telemetry): chunk
         for chunk in make_chunks(scenarios, workers, chunk_size)
     }
     for fut in as_completed(futures):
@@ -151,6 +167,7 @@ def run_grid(
     progress: Optional[ProgressFn] = None,
     on_result: Optional[ResultFn] = None,
     chunk_size: Optional[int] = None,
+    collect_telemetry: bool = False,
 ) -> Dict[str, Dict]:
     """Run every unique scenario of a grid, optionally across processes.
 
@@ -166,6 +183,12 @@ def run_grid(
     runner caches (byte-identical records, zero pool overhead); workers
     receive scenario chunks, simulate against their own caches, and
     return raw metric dicts which the parent normalises and merges.
+
+    ``collect_telemetry`` attaches each scenario's deterministic metrics
+    dump to its raw result (``"telemetry"``) — identical serial or
+    parallel.  The wall-clock ``elapsed_s`` field is visible to
+    ``on_result`` but stripped from the returned map, which therefore
+    stays bit-identical between serial and parallel execution.
     """
     unique: Dict[str, Scenario] = {}
     for sc in scenarios:
@@ -175,12 +198,12 @@ def run_grid(
     if workers <= 1:
         raw_by_key: Dict[str, Dict] = {}
         for i, (key, sc) in enumerate(unique.items()):
-            raw = raw_result(sc)
+            raw = raw_result(sc, collect_telemetry)
             raw["normalized_throughput"] = normalized(sc)
             raw_by_key[key] = raw
             ref_key = scenario_key(reference_scenario(sc))
             if ref_key not in raw_by_key and ref_key not in unique:
-                ref_raw = raw_result(reference_scenario(sc))
+                ref_raw = raw_result(reference_scenario(sc), collect_telemetry)
                 ref_raw["normalized_throughput"] = normalized(
                     reference_scenario(sc)
                 )
@@ -189,7 +212,7 @@ def run_grid(
                 on_result(sc, raw)
             if progress is not None:
                 progress(i + 1, n, sc)
-        return raw_by_key
+        return _strip_volatile(raw_by_key)
 
     refs: Dict[str, Scenario] = {}
     for sc in unique.values():
@@ -214,7 +237,7 @@ def run_grid(
     ) as pool:
         # Phase 1: every distinct normalisation reference, exactly once.
         for _chunk, results in _map_chunks(
-            pool, list(refs.values()), workers, chunk_size
+            pool, list(refs.values()), workers, chunk_size, collect_telemetry
         ):
             for raw in results:
                 raw_by_key[raw["key"]] = raw
@@ -228,8 +251,17 @@ def run_grid(
                 finish(sc, raw_by_key[key])
         # Phase 2: the remaining grid, chunked by base workload.
         rest = [sc for key, sc in unique.items() if key not in raw_by_key]
-        for chunk, results in _map_chunks(pool, rest, workers, chunk_size):
+        for chunk, results in _map_chunks(
+            pool, rest, workers, chunk_size, collect_telemetry
+        ):
             for sc, raw in zip(chunk, results):
                 raw_by_key[raw["key"]] = raw
                 finish(sc, raw)
+    return _strip_volatile(raw_by_key)
+
+
+def _strip_volatile(raw_by_key: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Drop wall-clock fields so the grid map is deterministic."""
+    for raw in raw_by_key.values():
+        raw.pop("elapsed_s", None)
     return raw_by_key

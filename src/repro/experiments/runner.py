@@ -21,6 +21,8 @@ from typing import Hashable, List, Optional
 
 from ..core.rng import stable_seed
 from ..metrics.records import SimulationResult
+from ..obs.profiling import perf_section
+from ..obs.telemetry import Telemetry
 from ..scheduler.simulator import simulate
 from ..traces.pipeline import grizzly_workload, synthetic_workload
 from ..traces.workload import Workload
@@ -108,29 +110,42 @@ def base_workload(scenario: Scenario) -> Workload:
     if wl is not None:
         return wl
     seed = stable_seed(*scenario.generation_seed_key(), base=1234)
-    if scenario.trace == "grizzly":
-        wl = grizzly_workload(
-            overestimation=0.0,
-            n_system_nodes=scenario.n_nodes,
-            scale_jobs=scenario.n_jobs,
-            seed=seed,
-        )
-    else:
-        wl = synthetic_workload(
-            n_jobs=scenario.n_jobs,
-            frac_large=scenario.frac_large,
-            overestimation=0.0,
-            target_utilization=scenario.target_utilization,
-            n_system_nodes=scenario.n_nodes,
-            max_job_nodes=scenario.effective_max_job_nodes(),
-            seed=seed,
-        )
+    with perf_section("runner.generate_workload"):
+        if scenario.trace == "grizzly":
+            wl = grizzly_workload(
+                overestimation=0.0,
+                n_system_nodes=scenario.n_nodes,
+                scale_jobs=scenario.n_jobs,
+                seed=seed,
+            )
+        else:
+            wl = synthetic_workload(
+                n_jobs=scenario.n_jobs,
+                frac_large=scenario.frac_large,
+                overestimation=0.0,
+                target_utilization=scenario.target_utilization,
+                n_system_nodes=scenario.n_nodes,
+                max_job_nodes=scenario.effective_max_job_nodes(),
+                seed=seed,
+            )
     _workload_cache.put(key, wl)
     return wl
 
 
-def run(scenario: Scenario) -> SimulationResult:
-    """Simulate one scenario (cached on the full scenario tuple)."""
+#: Event-log bound for campaign-collected telemetry: the campaign layer
+#: only persists the metrics registry, so a small ring suffices.
+CAMPAIGN_LOG_ENTRIES = 10_000
+
+
+def run(scenario: Scenario, collect_telemetry: bool = False) -> SimulationResult:
+    """Simulate one scenario (cached on the full scenario tuple).
+
+    With ``collect_telemetry`` the run is observed by a
+    :class:`repro.obs.Telemetry` instance and the deterministic metrics
+    registry dump lands in ``result.meta["telemetry_dump"]``.  Telemetry
+    does not change the simulation outcome, so the cache key is shared —
+    but a cached result without a dump is re-run when one is requested.
+    """
     key = (
         scenario.workload_key(),
         scenario.policy,
@@ -138,20 +153,29 @@ def run(scenario: Scenario) -> SimulationResult:
         round(scenario.overestimation, 6),
     )
     res = _result_cache.get(key)
-    if res is not None:
+    if res is not None and (not collect_telemetry or "telemetry_dump" in res.meta):
         return res
     wl = base_workload(scenario)
     if scenario.overestimation > 0:
         jobs = wl.with_overestimation(scenario.overestimation).jobs
     else:
         jobs = wl.fresh_jobs()
-    res = simulate(
-        jobs,
-        scenario.system_config(),
-        policy=scenario.policy,
-        profiles=wl.profiles,
+    telemetry = (
+        Telemetry(trace_spans=False, max_log_entries=CAMPAIGN_LOG_ENTRIES)
+        if collect_telemetry
+        else None
     )
+    with perf_section("runner.simulate"):
+        res = simulate(
+            jobs,
+            scenario.system_config(),
+            policy=scenario.policy,
+            profiles=wl.profiles,
+            telemetry=telemetry,
+        )
     res.meta["scenario"] = scenario
+    if telemetry is not None:
+        res.meta["telemetry_dump"] = telemetry.registry.to_dict()
     _result_cache.put(key, res)
     return res
 

@@ -8,7 +8,7 @@ dependency), used by examples and the CLI for schedule debugging.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +53,59 @@ def occupancy_strip(
     lines.append(f"mem |{strip(mem)}|")
     lines.append(f"     {t0:<10.0f}{'':^{max(width - 20, 0)}}{t1:>10.0f}  (s)")
     lines.append(f"ramp: '{RAMP}' = 0%..100%")
+    return "\n".join(lines)
+
+
+def series_strips(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Strip chart of sampled telemetry series, one row per metric.
+
+    ``series`` maps a metric name to its ``(times, values)`` arrays (the
+    shape produced by :func:`repro.obs.report.samples_by_name` /
+    :func:`repro.obs.export.series_of`).  Each row is normalised by its
+    own maximum — the glyph encodes *relative* level on the shared ramp,
+    and the row label carries the absolute peak for scale.
+    """
+    usable = {
+        name: (np.asarray(t, dtype=float), np.asarray(v, dtype=float))
+        for name, (t, v) in series.items()
+        if len(t) > 0
+    }
+    if not usable:
+        raise ValueError("series has no samples")
+    t0 = min(float(t[0]) for t, _ in usable.values())
+    t1 = max(float(t[-1]) for t, _ in usable.values())
+    edges = np.linspace(t0, t1, width + 1)
+    label_w = max(len(name) for name in usable)
+
+    lines = [title] if title else []
+    for name in sorted(usable):
+        times, values = usable[name]
+        peak = float(values.max())
+        idx = np.clip(
+            np.searchsorted(edges, times, side="right") - 1, 0, width - 1
+        )
+        chars = []
+        for col in range(width):
+            mask = idx == col
+            if not mask.any():
+                chars.append(" ")
+                continue
+            level = float(values[mask].mean()) / peak if peak > 0 else 0.0
+            chars.append(
+                RAMP[min(int(level * (len(RAMP) - 1)), len(RAMP) - 1)]
+            )
+        lines.append(
+            f"{name.rjust(label_w)} |{''.join(chars)}| max={peak:g}"
+        )
+    pad = " " * label_w
+    lines.append(
+        f"{pad}  {t0:<10.0f}{'':^{max(width - 20, 0)}}{t1:>10.0f}  (s)"
+    )
+    lines.append(f"ramp: '{RAMP}' = 0%..100% of each row's max")
     return "\n".join(lines)
 
 

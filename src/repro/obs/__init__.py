@@ -1,0 +1,64 @@
+"""repro.obs — zero-overhead-when-disabled observability.
+
+Four pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`~repro.obs.registry` — deterministic, pickle-safe metrics
+  (``Counter`` / ``Gauge`` / ``Histogram``) sampled on a simulated-time
+  cadence into time series; parallel workers merge child registries into
+  the parent bit-identically.
+* :mod:`~repro.obs.tracing` — wall-clock + simulated-time spans of the
+  controller tick and the Monitor/Decider/Actuator/Executor phases.
+* :mod:`~repro.obs.profiling` — ``perf_section()`` hooks on the
+  simulator hot paths, aggregated into a flame-style table
+  (``benchmarks/bench_obs.py`` → ``BENCH_obs.json``).
+* :mod:`~repro.obs.export` — JSONL, CSV and Prometheus text dumps.
+
+The facade is :class:`~repro.obs.telemetry.Telemetry`; pass one to
+``simulate(..., telemetry=...)`` or use the CLI flags
+(``repro simulate --telemetry DIR``, ``repro trace DIR``,
+``repro campaign ... --telemetry DIR``).
+"""
+
+from .console import Console, console
+from .export import (
+    metrics_csv,
+    metrics_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from .profiling import (
+    PerfAggregator,
+    disable_profiling,
+    enable_profiling,
+    perf_section,
+    profiling_active,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_job_trace, render_trace_summary
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .tracing import Span, SpanTracer
+
+__all__ = [
+    "Console",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "PerfAggregator",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "console",
+    "disable_profiling",
+    "enable_profiling",
+    "metrics_csv",
+    "metrics_jsonl",
+    "parse_prometheus_text",
+    "perf_section",
+    "profiling_active",
+    "prometheus_text",
+    "render_job_trace",
+    "render_trace_summary",
+]

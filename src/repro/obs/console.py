@@ -1,0 +1,55 @@
+"""CLI console with verbosity levels.
+
+The CLI routes human-facing *status* lines ("wrote 50 jobs to ...",
+campaign progress) through this helper so ``-q/--quiet`` can silence
+them and ``-v/--verbose`` can add detail, while machine-consumable
+*results* (tables, JSON, CSV) keep printing to stdout unconditionally.
+
+``sys.stdout`` is resolved at call time, not import time, so pytest's
+``capsys`` and shell redirection both see the output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["Console", "QUIET", "NORMAL", "VERBOSE", "console"]
+
+QUIET = 0
+NORMAL = 1
+VERBOSE = 2
+
+
+class Console:
+    """Verbosity-aware printer."""
+
+    def __init__(self, verbosity: int = NORMAL, stream: Optional[TextIO] = None):
+        self.verbosity = verbosity
+        self._stream = stream
+
+    def set_verbosity(self, verbosity: int) -> None:
+        self.verbosity = verbosity
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stdout
+
+    # ------------------------------------------------------------------
+    def status(self, message: str = "") -> None:
+        """Progress/status line; silenced by ``--quiet``."""
+        if self.verbosity >= NORMAL:
+            print(message, file=self.stream)
+
+    def detail(self, message: str = "") -> None:
+        """Extra diagnostics; shown only with ``--verbose``."""
+        if self.verbosity >= VERBOSE:
+            print(message, file=self.stream)
+
+    def result(self, message: str = "") -> None:
+        """Primary command output; always printed."""
+        print(message, file=self.stream)
+
+
+#: Process-wide console used by the CLI (verbosity set in ``main()``).
+console = Console()

@@ -1,0 +1,150 @@
+"""Lightweight hot-path profiling hooks.
+
+``perf_section(name)`` wraps the simulator's hot paths (engine run,
+scheduling pass, backfill shadow-time estimation, cluster ledger
+commits, the runner's workload generation).  Disabled — the default —
+it costs one module-global read and returns a shared no-op context
+manager, so the instrumented code paths stay effectively free.
+
+Enabled (:func:`enable_profiling`), sections aggregate into a
+:class:`PerfAggregator` that tracks call counts, total and *self* wall
+time (child sections are subtracted from their parent, flame-graph
+style) and renders a flame-style table.  ``benchmarks/bench_obs.py``
+drives a profiled run and writes the aggregate to
+``benchmarks/output/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+__all__ = [
+    "PerfAggregator",
+    "disable_profiling",
+    "enable_profiling",
+    "perf_section",
+    "profiling_active",
+]
+
+
+class _NullSection:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SECTION = _NullSection()
+
+
+class _Section:
+    __slots__ = ("agg", "name", "t0", "child_s")
+
+    def __init__(self, agg: "PerfAggregator", name: str):
+        self.agg = agg
+        self.name = name
+        self.child_s = 0.0
+
+    def __enter__(self):
+        self.agg._stack.append(self)
+        self.t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        dt = perf_counter() - self.t0
+        agg = self.agg
+        agg._stack.pop()
+        if agg._stack:
+            agg._stack[-1].child_s += dt
+        stats = agg.stats.setdefault(self.name, [0, 0.0, 0.0, 0.0])
+        stats[0] += 1
+        stats[1] += dt
+        stats[2] += dt - self.child_s
+        stats[3] = max(stats[3], dt)
+        return False
+
+
+class PerfAggregator:
+    """Per-section call counts and wall times.
+
+    ``stats[name] = [calls, total_s, self_s, max_s]`` where ``self_s``
+    excludes time spent in nested sections.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, List[float]] = {}
+        self._stack: List[_Section] = []
+
+    def section(self, name: str) -> _Section:
+        return _Section(self, name)
+
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict:
+        """Plain dict for JSON dumps (sorted by total time, descending)."""
+        return {
+            name: {
+                "calls": int(s[0]),
+                "total_s": round(s[1], 6),
+                "self_s": round(s[2], 6),
+                "max_s": round(s[3], 6),
+            }
+            for name, s in sorted(
+                self.stats.items(), key=lambda kv: (-kv[1][1], kv[0])
+            )
+        }
+
+    def table(self, limit: Optional[int] = None) -> str:
+        """Flame-style text table, hottest section first."""
+        rows = sorted(self.stats.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        if limit is not None:
+            rows = rows[:limit]
+        if not rows:
+            return "(no profiled sections)"
+        name_w = max(len("section"), max(len(n) for n, _ in rows))
+        lines = [
+            f"{'section'.ljust(name_w)}  {'calls':>9}  {'total s':>9}  "
+            f"{'self s':>9}  {'mean us':>9}  {'max ms':>9}"
+        ]
+        for name, (calls, total, self_s, max_s) in rows:
+            mean_us = total / calls * 1e6 if calls else 0.0
+            lines.append(
+                f"{name.ljust(name_w)}  {int(calls):>9}  {total:>9.3f}  "
+                f"{self_s:>9.3f}  {mean_us:>9.1f}  {max_s * 1e3:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+#: The active aggregator, or None (profiling disabled).
+_ACTIVE: Optional[PerfAggregator] = None
+
+
+def enable_profiling() -> PerfAggregator:
+    """Turn profiling on and return the (fresh) active aggregator."""
+    global _ACTIVE
+    _ACTIVE = PerfAggregator()
+    return _ACTIVE
+
+
+def disable_profiling() -> Optional[PerfAggregator]:
+    """Turn profiling off; returns the final aggregator, if any."""
+    global _ACTIVE
+    agg, _ACTIVE = _ACTIVE, None
+    return agg
+
+
+def profiling_active() -> bool:
+    return _ACTIVE is not None
+
+
+def perf_section(name: str):
+    """Context manager timing one named section (no-op when disabled)."""
+    agg = _ACTIVE
+    if agg is None:
+        return _NULL_SECTION
+    return agg.section(name)

@@ -1,0 +1,247 @@
+"""Human-readable reports over an exported telemetry directory.
+
+``repro trace DIR`` renders these views of a directory written by
+:meth:`repro.obs.telemetry.Telemetry.export`:
+
+* a run summary — counters, histogram digests, per-event-kind counts,
+  and the top-N slowest control-loop phases by total wall time;
+* a per-job lifecycle reconstruction ("explain job N") from the
+  structured event log, with queue-wait / runtime / response-time
+  derived in place.
+
+Every file of the directory layout is optional, so the same command
+also works on a merged campaign telemetry directory (metrics only, no
+spans or events).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .tracing import Span, aggregate_spans
+
+__all__ = [
+    "load_events",
+    "load_meta",
+    "load_metrics_records",
+    "load_spans",
+    "render_job_trace",
+    "render_trace_summary",
+    "samples_by_name",
+]
+
+PathLike = Union[str, Path]
+
+#: Run-summary keys worth a header line (shown when present).
+_SUMMARY_KEYS = (
+    "n_jobs",
+    "makespan_s",
+    "throughput_jobs_per_s",
+    "median_response_s",
+    "oom_kills",
+    "unrunnable",
+)
+
+
+def _read_jsonl(path: Path) -> List[Dict]:
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def load_metrics_records(directory: PathLike) -> List[Dict]:
+    """Parsed ``metrics.jsonl`` records (empty list if absent)."""
+    return _read_jsonl(Path(directory) / "metrics.jsonl")
+
+
+def load_spans(directory: PathLike) -> List[Span]:
+    """Spans from ``spans.jsonl`` (empty list if absent)."""
+    return [
+        Span.from_json(row)
+        for row in _read_jsonl(Path(directory) / "spans.jsonl")
+    ]
+
+
+def load_events(directory: PathLike) -> List[Dict]:
+    """Structured event-log rows from ``events.jsonl`` (empty if absent)."""
+    return _read_jsonl(Path(directory) / "events.jsonl")
+
+
+def load_meta(directory: PathLike) -> Dict:
+    """Run metadata from ``meta.json`` (empty dict if absent)."""
+    path = Path(directory) / "meta.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def samples_by_name(
+    records: Sequence[Dict],
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    """``{name: (times, values)}`` of the sampled-series records."""
+    out: Dict[str, Tuple[List[float], List[float]]] = {}
+    for rec in records:
+        if rec.get("type") == "sample":
+            times, values = out.setdefault(rec["name"], ([], []))
+            times.append(float(rec["t"]))
+            values.append(float(rec["value"]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal aligned text table (first column left, rest right)."""
+    cells = [[str(h) for h in headers]]
+    cells += [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        cols = [row[0].ljust(widths[0])]
+        cols += [c.rjust(w) for c, w in zip(row[1:], widths[1:])]
+        return "  ".join(cols).rstrip()
+
+    lines = [fmt(cells[0]), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in cells[1:]]
+    return "\n".join(lines)
+
+
+def render_trace_summary(directory: PathLike, top: int = 10) -> str:
+    """Run summary of a telemetry directory, ready to print."""
+    directory = Path(directory)
+    records = load_metrics_records(directory)
+    meta = load_meta(directory)
+    spans = load_spans(directory)
+    events = load_events(directory)
+
+    parts: List[str] = []
+    header = f"telemetry: {directory}"
+    if meta.get("policy"):
+        header += f"  (policy: {meta['policy']})"
+    parts.append(header)
+    summary = meta.get("summary") or {}
+    shown = [
+        f"{k}={summary[k]:.6g}" if isinstance(summary[k], float)
+        else f"{k}={summary[k]}"
+        for k in _SUMMARY_KEYS if k in summary
+    ]
+    if shown:
+        parts.append("  " + "  ".join(shown))
+    if meta.get("events_processed") is not None:
+        parts.append(f"  engine events processed: {meta['events_processed']}")
+
+    counters = sorted(
+        (r["name"], r["value"]) for r in records if r["type"] == "counter"
+    )
+    if counters:
+        parts += ["", "counters", _table(["name", "value"], counters)]
+
+    hists = sorted(
+        (r for r in records if r["type"] == "histogram"),
+        key=lambda r: r["name"],
+    )
+    if hists:
+        rows = []
+        for r in hists:
+            mean = r["sum"] / r["count"] if r["count"] else 0.0
+            rows.append(
+                [r["name"], r["count"], f"{mean:.1f}", f"{r['sum']:.1f}"]
+            )
+        parts += ["", "histograms",
+                  _table(["name", "count", "mean", "sum"], rows)]
+
+    if events:
+        counts: Dict[str, int] = {}
+        for e in events:
+            counts[e["event"]] = counts.get(e["event"], 0) + 1
+        parts += ["", f"event log: {len(events)} entries",
+                  _table(["event", "count"], sorted(counts.items()))]
+
+    if spans:
+        agg = aggregate_spans(spans)
+        rows = [
+            [name, n_spans, calls, f"{total * 1e3:.2f}", f"{mx * 1e3:.3f}"]
+            for name, n_spans, calls, total, mx in agg[:top]
+        ]
+        parts += [
+            "",
+            f"slowest phases (top {len(rows)} of {len(agg)}, "
+            "by total wall time)",
+            _table(["phase", "spans", "calls", "total ms", "max ms"], rows),
+        ]
+    else:
+        parts += ["", "no spans recorded "
+                      "(trace_spans=False, or a campaign metrics dump)"]
+    return "\n".join(parts)
+
+
+def _first(events: Sequence[Dict], kind: str) -> Optional[float]:
+    for e in events:
+        if e["event"] == kind:
+            return float(e["t"])
+    return None
+
+
+def _last(events: Sequence[Dict], kinds: Tuple[str, ...]) -> Optional[float]:
+    t: Optional[float] = None
+    for e in events:
+        if e["event"] in kinds:
+            t = float(e["t"])
+    return t
+
+
+def render_job_trace(directory: PathLike, jid: int) -> str:
+    """Reconstruct one job's lifecycle from the exported event log."""
+    directory = Path(directory)
+    events = [e for e in load_events(directory) if e.get("jid") == jid]
+    spans = [s for s in load_spans(directory) if s.jid == jid]
+
+    lines = [f"job {jid} lifecycle  ({directory})"]
+    if not events:
+        if not (directory / "events.jsonl").exists():
+            lines.append(
+                "  no events.jsonl in this directory (metrics-only dump)"
+            )
+        else:
+            lines.append(
+                "  no events recorded for this job (unknown jid, or the "
+                "ring buffer dropped its history)"
+            )
+        return "\n".join(lines)
+
+    for e in events:
+        detail = f"  {e['detail']}" if e.get("detail") else ""
+        lines.append(f"  [{float(e['t']):12.1f}s] {e['event']:<10}{detail}")
+
+    submit = _first(events, "submit")
+    start = _first(events, "start")
+    end = _last(events, ("finish", "timeout"))
+    derived: List[str] = []
+    if submit is not None and start is not None:
+        derived.append(f"waited {start - submit:.1f}s in queue")
+    if start is not None and end is not None:
+        derived.append(f"ran {end - start:.1f}s")
+    if submit is not None and end is not None:
+        derived.append(f"response time {end - submit:.1f}s")
+    n_resize = sum(1 for e in events if e["event"] == "resize")
+    if n_resize:
+        derived.append(f"{n_resize} resize(s)")
+    n_oom = sum(1 for e in events if e["event"] == "oom-kill")
+    if n_oom:
+        derived.append(f"{n_oom} OOM restart(s)")
+    if derived:
+        lines.append("  -> " + "; ".join(derived))
+    if spans:
+        total = sum(s.wall_s for s in spans)
+        lines.append(
+            f"  spans touching this job: {len(spans)} "
+            f"({total * 1e3:.3f} ms wall)"
+        )
+    return "\n".join(lines)

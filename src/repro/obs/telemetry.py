@@ -1,0 +1,245 @@
+"""The telemetry facade wired into ``simulate(..., telemetry=...)``.
+
+One :class:`Telemetry` instance observes one simulation run: it owns the
+metrics registry (deterministic, simulated-time driven), the span tracer
+(wall-clock, diagnostics only), the phase accumulator that turns the
+per-job Monitor/Decider/Actuator timings into one aggregated span per
+controller tick, and — after the run — the structured event log, and it
+knows how to export all of it to a directory that ``repro trace`` can
+read back.
+
+:data:`NULL_TELEMETRY` is the disabled singleton: every hook is a no-op
+and the controller/policies pay only an attribute lookup and a call, so
+runs without telemetry stay at seed performance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
+
+from .export import metrics_csv, metrics_jsonl, prometheus_text
+from .registry import MetricsRegistry
+from .tracing import SpanTracer
+
+__all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry"]
+
+#: Wait/response-time bucket edges (seconds): sub-minute to a day.
+TIME_BUCKETS_S = (30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+                  7200.0, 14400.0, 43200.0, 86400.0)
+
+#: Resize-magnitude bucket edges (MB; integers, ledger units).
+RESIZE_BUCKETS_MB = (256, 1024, 4096, 16384, 65536, 262144)
+
+#: Default simulated-time sampling cadence — the paper's 5-minute
+#: monitoring interval.
+DEFAULT_SAMPLE_INTERVAL = 300.0
+
+#: Default event-log ring-buffer bound when telemetry implicitly enables
+#: event logging (long campaigns must not grow without bound).
+DEFAULT_MAX_LOG_ENTRIES = 200_000
+
+
+class _PhaseTimer:
+    """Accumulates one phase's wall time into the tick accumulator."""
+
+    __slots__ = ("acc", "name", "t0")
+
+    def __init__(self, acc: Dict[str, List[float]], name: str):
+        self.acc = acc
+        self.name = name
+
+    def __enter__(self):
+        self.t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        dt = perf_counter() - self.t0
+        row = self.acc.get(self.name)
+        if row is None:
+            self.acc[self.name] = [1, dt]
+        else:
+            row[0] += 1
+            row[1] += dt
+        return False
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Telemetry:
+    """Observability for one simulation run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+        max_log_entries: Optional[int] = DEFAULT_MAX_LOG_ENTRIES,
+        trace_spans: bool = True,
+    ):
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {sample_interval}"
+            )
+        self.sample_interval = sample_interval
+        self.max_log_entries = max_log_entries
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer() if trace_spans else None
+        #: the run's structured event log (attached by ``simulate``)
+        self.event_log = None
+        #: run metadata stamped by ``simulate`` (policy, system, summary)
+        self.meta: Dict[str, object] = {}
+        self._phase_acc: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Metric hooks (deterministic; simulated-time driven)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.registry.inc(name, n)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        self.registry.observe(name, seconds, TIME_BUCKETS_S)
+
+    def observe_resize(self, mb: int) -> None:
+        self.registry.observe("resize_mb", mb, RESIZE_BUCKETS_MB)
+
+    def sample_cluster(self, now: float, controller) -> None:
+        """Record the gauge set and append one time-series row block."""
+        reg = self.registry
+        c = controller.cluster
+        reg.set_gauge("pool_free_local_mb", int(c.free_local().sum()), now)
+        reg.set_gauge("pool_lent_mb", int(c.lent_mb.sum()), now)
+        reg.set_gauge("pool_local_used_mb", int(c.local_used_mb.sum()), now)
+        reg.set_gauge("queue_depth", len(controller.pending), now)
+        reg.set_gauge("running_jobs", len(controller.running), now)
+        reg.set_gauge("memory_node_count", int(c.is_memory_node().sum()), now)
+        reg.set_gauge("busy_nodes", int(c.busy.sum()), now)
+        reg.sample(now)
+
+    # ------------------------------------------------------------------
+    # Span/phase hooks (wall clock; diagnostics only)
+    # ------------------------------------------------------------------
+    def span(self, name: str, sim_t: float, jid: Optional[int] = None,
+             detail: str = ""):
+        if self.tracer is None:
+            return _NULL_CONTEXT
+        return self.tracer.span(name, sim_t, jid, detail)
+
+    def phase(self, name: str):
+        """Accumulate one (per-job) phase timing into the current tick."""
+        if self.tracer is None:
+            return _NULL_CONTEXT
+        return _PhaseTimer(self._phase_acc, name)
+
+    def flush_phases(self, sim_t: float, prefix: str) -> None:
+        """Emit one aggregated span per accumulated phase and reset."""
+        if self.tracer is None or not self._phase_acc:
+            self._phase_acc.clear()
+            return
+        for name in sorted(self._phase_acc):
+            count, total = self._phase_acc[name]
+            self.tracer.add(f"{prefix}.{name}", sim_t, total, int(count))
+        self._phase_acc.clear()
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def finish(self, result) -> None:
+        """Stamp end-of-run metadata (called by ``simulate``)."""
+        self.meta.setdefault("policy", result.policy)
+        self.meta["summary"] = result.summary()
+        self.meta["events_processed"] = result.events_processed
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, directory: Union[str, Path]) -> Path:
+        """Write the run's telemetry into ``directory`` and return it.
+
+        Files: ``metrics.jsonl`` / ``metrics.csv`` / ``metrics.prom``
+        (deterministic registry dumps), ``spans.jsonl`` (wall-clock
+        spans), ``events.jsonl`` (structured event log), ``meta.json``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "metrics.jsonl").write_text(metrics_jsonl(self.registry))
+        (directory / "metrics.csv").write_text(metrics_csv(self.registry))
+        (directory / "metrics.prom").write_text(prometheus_text(self.registry))
+        if self.tracer is not None:
+            (directory / "spans.jsonl").write_text(self.tracer.to_jsonl())
+        if self.event_log is not None:
+            (directory / "events.jsonl").write_text(
+                event_log_jsonl(self.event_log)
+            )
+        (directory / "meta.json").write_text(
+            json.dumps(self.meta, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        return directory
+
+
+def event_log_jsonl(event_log) -> str:
+    """Serialise an :class:`repro.scheduler.eventlog.EventLog` to JSONL.
+
+    Duck-typed (entries with ``time``/``event``/``jid``/``detail``) so
+    :mod:`repro.obs` stays import-independent of the scheduler package.
+    """
+    lines = []
+    for e in event_log:
+        row: Dict[str, object] = {"t": e.time, "event": e.event}
+        if e.jid is not None:
+            row["jid"] = e.jid
+        if e.detail:
+            row["detail"] = e.detail
+        lines.append(json.dumps(row))
+    return "".join(line + "\n" for line in lines)
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: every hook is a cheap no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_spans=False)
+        self.tracer = None
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def observe_resize(self, mb: int) -> None:
+        pass
+
+    def sample_cluster(self, now: float, controller) -> None:
+        pass
+
+    def span(self, name, sim_t, jid=None, detail=""):
+        return _NULL_CONTEXT
+
+    def phase(self, name):
+        return _NULL_CONTEXT
+
+    def flush_phases(self, sim_t, prefix) -> None:
+        pass
+
+    def finish(self, result) -> None:
+        pass
+
+
+#: Shared disabled instance (controllers default to this).
+NULL_TELEMETRY = NullTelemetry()

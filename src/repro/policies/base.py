@@ -23,6 +23,7 @@ from ..cluster.allocation import JobAllocation
 from ..cluster.cluster import Cluster
 from ..cluster.memorypool import MemoryPool
 from ..jobs.job import Job
+from ..obs.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -45,6 +46,9 @@ class AllocationPolicy(ABC):
     uses_disaggregation: bool = False
     #: Whether the policy resizes allocations while jobs run.
     is_dynamic: bool = False
+    #: Telemetry sink for Monitor/Decider/Actuator phase timings; the
+    #: controller replaces this (per instance) when a run is observed.
+    obs = NULL_TELEMETRY
 
     def __init__(self, cluster: Cluster):
         self.cluster = cluster

@@ -21,7 +21,7 @@ resized.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from ..cluster.allocation import JobAllocation
 from ..cluster.cluster import Cluster
@@ -100,19 +100,32 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
 
     # ------------------------------------------------------------------
     def update(self, job: Job, progress: float, window: float) -> UpdateOutcome:
-        """One Decider/Actuator step for a running job.
+        """One Monitor → Decider → Actuator step for a running job.
 
         ``progress`` is the job's current work position and ``window`` the
         progress span until the next update; the enforced demand is the
-        maximum usage in that span (paper §2.3).
+        maximum usage in that span (paper §2.3).  Each phase runs under
+        ``self.obs.phase(...)`` so an observed run gets per-phase wall
+        times; with telemetry disabled the wrappers are shared no-ops.
         """
         out = UpdateOutcome()
         if job.jid in self._pinned:
             return out
-        c = self.cluster
-        alloc = c.allocations.get(job.jid)
+        alloc = self.cluster.allocations.get(job.jid)
         if alloc is None:
             return out
+        with self.obs.phase("monitor"):
+            reference = self._monitor(job, progress, window)
+        with self.obs.phase("decider"):
+            deltas = self._decide(job, alloc, reference)
+        with self.obs.phase("actuator"):
+            self._actuate(job.jid, alloc, deltas, out)
+        if not out.oom:
+            out.resized = out.freed_mb > 0 or out.grown_mb > 0
+        return out
+
+    def _monitor(self, job: Job, progress: float, window: float) -> int:
+        """Monitor: the usage reading the Decider will act on."""
         reference = job.usage.max_in(progress, progress + window)
         if self.monitor_noise > 0.0:
             # Noisy telemetry: the Decider sees a perturbed reading, but
@@ -125,19 +138,35 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         prev = self._observed_peak.get(job.jid, 0)
         if reference > prev:
             self._observed_peak[job.jid] = reference
+        return reference
+
+    def _decide(self, job: Job, alloc: JobAllocation,
+                reference: int) -> List[Tuple[int, int]]:
+        """Decider: per-node (node, delta MB) resize decisions.
+
+        Pure read of the job's own allocation — actuating one node never
+        changes another node's ``total_on``, so deciding everything
+        up-front is equivalent to the interleaved decide/act loop.
+        """
+        deltas: List[Tuple[int, int]] = []
         for rank, node in enumerate(alloc.nodes):
             # Per-node demand: the Monitor reports each node separately
             # (paper Fig. 1a); ranks may have imbalanced footprints.
             demand = int(round(reference * job.rank_scale(rank)))
-            current = alloc.total_on(node)
-            if demand < current:
-                self._shrink(job.jid, alloc, node, current - demand, out)
-            elif demand > current:
-                if not self._grow(job.jid, alloc, node, demand - current, out):
-                    out.oom = True
-                    return out
-        out.resized = out.freed_mb > 0 or out.grown_mb > 0
-        return out
+            delta = demand - alloc.total_on(node)
+            if delta != 0:
+                deltas.append((node, delta))
+        return deltas
+
+    def _actuate(self, jid: int, alloc: JobAllocation,
+                 deltas: List[Tuple[int, int]], out: UpdateOutcome) -> None:
+        """Actuator: apply the decided resizes, in node order."""
+        for node, delta in deltas:
+            if delta < 0:
+                self._shrink(jid, alloc, node, -delta, out)
+            elif not self._grow(jid, alloc, node, delta, out):
+                out.oom = True
+                return
 
     # ------------------------------------------------------------------
     def _shrink(

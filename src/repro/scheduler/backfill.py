@@ -22,6 +22,7 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..jobs.job import Job
+from ..obs.profiling import perf_section
 
 
 def expected_finish(job: Job, now: float) -> float:
@@ -50,40 +51,41 @@ def shadow_time(
     treats the job as waiting for other state changes, e.g. dynamic-policy
     shrinkage).
     """
-    c = cluster
-    free_nodes = int((~c.busy).sum())
-    free_mem = int(c.free_local().sum())
-    # Idle capacity per node, for the baseline's per-class fit test.
-    idle_caps = np.sort(c.capacity_mb[~c.busy])[::-1]
-    fitting_idle = int((idle_caps >= blocked.mem_request_mb).sum())
+    with perf_section("backfill.shadow_time"):
+        c = cluster
+        free_nodes = int((~c.busy).sum())
+        free_mem = int(c.free_local().sum())
+        # Idle capacity per node, for the baseline's per-class fit test.
+        idle_caps = np.sort(c.capacity_mb[~c.busy])[::-1]
+        fitting_idle = int((idle_caps >= blocked.mem_request_mb).sum())
 
-    def feasible(nodes: int, mem: int, fitting: int) -> bool:
-        if disaggregated:
-            if nodes < blocked.n_nodes:
-                return False
-            return mem >= blocked.n_nodes * blocked.mem_request_mb
-        return fitting >= blocked.n_nodes
+        def feasible(nodes: int, mem: int, fitting: int) -> bool:
+            if disaggregated:
+                if nodes < blocked.n_nodes:
+                    return False
+                return mem >= blocked.n_nodes * blocked.mem_request_mb
+            return fitting >= blocked.n_nodes
 
-    if feasible(free_nodes, free_mem, fitting_idle):
-        return now
+        if feasible(free_nodes, free_mem, fitting_idle):
+            return now
 
-    order = sorted(running, key=lambda j: (expected_finish(j, now), j.jid))
-    nodes, mem, fitting = free_nodes, free_mem, fitting_idle
-    for job in order:
-        alloc = c.allocations.get(job.jid)
-        if alloc is None:
-            continue
-        nodes += len(alloc.nodes)
-        mem += alloc.total()
-        if not disaggregated:
-            fitting += sum(
-                1
-                for n in alloc.nodes
-                if c.capacity_mb[n] >= blocked.mem_request_mb
-            )
-        if feasible(nodes, mem, fitting):
-            return expected_finish(job, now)
-    return float("inf")
+        order = sorted(running, key=lambda j: (expected_finish(j, now), j.jid))
+        nodes, mem, fitting = free_nodes, free_mem, fitting_idle
+        for job in order:
+            alloc = c.allocations.get(job.jid)
+            if alloc is None:
+                continue
+            nodes += len(alloc.nodes)
+            mem += alloc.total()
+            if not disaggregated:
+                fitting += sum(
+                    1
+                    for n in alloc.nodes
+                    if c.capacity_mb[n] >= blocked.mem_request_mb
+                )
+            if feasible(nodes, mem, fitting):
+                return expected_finish(job, now)
+        return float("inf")
 
 
 def can_backfill(candidate: Job, now: float, shadow: float) -> bool:

@@ -23,6 +23,7 @@ from ..jobs.job import Job
 from ..jobs.states import JobState
 from ..metrics.records import JobRecord, SimulationResult
 from ..metrics.utilization import UtilizationTimeline
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..policies.base import AllocationPolicy
 from ..slowdown.model import ContentionModel
 from .backfill import can_backfill, shadow_time
@@ -46,12 +47,17 @@ class Controller:
         config: SystemConfig,
         sample_interval: Optional[float] = None,
         event_log: Optional[EventLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.engine = engine
         self.cluster = cluster
         self.policy = policy
         self.model = model
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # The policy reports Monitor/Decider/Actuator phase timings to
+        # the same sink (instance attribute shadows the class default).
+        policy.obs = self.telemetry
         self.pending = PendingQueue()
         self.jobs: Dict[int, Job] = {}
         self.running: Dict[int, Job] = {}
@@ -78,6 +84,7 @@ class Controller:
         engine.on(EventKind.SCHED_PASS, self._on_sched)
         engine.on(EventKind.MEM_UPDATE, self._on_mem_update)
         engine.on(EventKind.SAMPLE, self._on_sample)
+        engine.on(EventKind.TELEMETRY, self._on_telemetry)
 
     # ------------------------------------------------------------------
     # Workload loading
@@ -91,6 +98,8 @@ class Controller:
             self.engine.at(job.submit_time, EventKind.JOB_SUBMIT, job)
         if self.sample_interval:
             self.engine.at(0.0, EventKind.SAMPLE, None)
+        if self.telemetry.enabled:
+            self.engine.at(0.0, EventKind.TELEMETRY, None)
 
     # ------------------------------------------------------------------
     # Time integrals
@@ -112,11 +121,13 @@ class Controller:
     def _on_submit(self, engine: Engine, ev: Event) -> None:
         job: Job = ev.payload
         self._account(engine.now)
+        self.telemetry.inc("jobs_submitted")
         self.event_log.log(engine.now, _ev.SUBMIT, job.jid,
                            f"n={job.n_nodes} req={job.mem_request_mb}MB")
         if not self.policy.can_ever_run(job):
             job.set_state(JobState.UNRUNNABLE)
             self.result.unrunnable.append(job.jid)
+            self.telemetry.inc("jobs_unrunnable")
             self.event_log.log(engine.now, _ev.UNRUNNABLE, job.jid)
             return
         self.pending.add(job)
@@ -128,7 +139,9 @@ class Controller:
         if not self._dirty or not self.pending:
             return
         self._account(engine.now)
-        self._sched_pass(engine.now)
+        self.telemetry.inc("sched_passes")
+        with self.telemetry.span("controller.sched_pass", engine.now):
+            self._sched_pass(engine.now)
 
     def _on_finish(self, engine: Engine, ev: Event) -> None:
         job: Job = ev.payload
@@ -142,6 +155,8 @@ class Controller:
         job.set_state(JobState.COMPLETED)
         job.finish_time = now
         self.policy.on_finish(job)
+        self.telemetry.inc("jobs_finished")
+        self.telemetry.observe_time("job_response_s", now - job.submit_time)
         self.event_log.log(now, _ev.FINISH, job.jid,
                            f"runtime={now - (job.start_time or now):.0f}s")
         self.result.records.append(self._record_of(job, now))
@@ -155,32 +170,46 @@ class Controller:
         self._mem_scheduled = False
         now = engine.now
         self._account(now)
-        affected: Set[int] = set()
-        freed = False
-        # Deterministic iteration order over running jobs.
-        for jid in sorted(self.running):
-            job = self.running.get(jid)
-            if job is None or job.state is not JobState.RUNNING:
-                continue
-            self._advance(job, now)
-            window = self.config.update_interval / max(job.slowdown, 1.0)
-            outcome = self.policy.update(job, job.work_done, window)
-            if outcome.oom:
-                affected.update(self._kill(job, now))
-                freed = True
-                continue
-            if outcome.resized:
-                self.event_log.log(
-                    now, _ev.RESIZE, job.jid,
-                    f"freed={outcome.freed_mb}MB grown={outcome.grown_mb}MB",
-                )
-            if outcome.touched_nodes:
-                affected.update(
-                    self.model.affected_jobs(self.cluster, outcome.touched_nodes)
-                )
-            if outcome.freed_mb > 0:
-                freed = True
-        self._reprice(affected, now)
+        tel = self.telemetry
+        tel.inc("mem_update_ticks")
+        with tel.span("controller.mem_update", now):
+            affected: Set[int] = set()
+            freed = False
+            # Deterministic iteration order over running jobs.
+            for jid in sorted(self.running):
+                job = self.running.get(jid)
+                if job is None or job.state is not JobState.RUNNING:
+                    continue
+                self._advance(job, now)
+                window = self.config.update_interval / max(job.slowdown, 1.0)
+                outcome = self.policy.update(job, job.work_done, window)
+                if outcome.oom:
+                    affected.update(self._kill(job, now))
+                    freed = True
+                    continue
+                if outcome.resized:
+                    tel.inc("resizes")
+                    if outcome.freed_mb > 0:
+                        tel.inc("resize_freed_mb", outcome.freed_mb)
+                        tel.observe_resize(outcome.freed_mb)
+                    if outcome.grown_mb > 0:
+                        tel.inc("resize_grown_mb", outcome.grown_mb)
+                        tel.observe_resize(outcome.grown_mb)
+                    self.event_log.log(
+                        now, _ev.RESIZE, job.jid,
+                        f"freed={outcome.freed_mb}MB grown={outcome.grown_mb}MB",
+                    )
+                if outcome.touched_nodes:
+                    affected.update(
+                        self.model.affected_jobs(self.cluster, outcome.touched_nodes)
+                    )
+                if outcome.freed_mb > 0:
+                    freed = True
+            # Executor: push the decided changes back into the engine by
+            # repricing affected finish events (paper Fig. 1a).
+            with tel.phase("executor"):
+                self._reprice(affected, now)
+        tel.flush_phases(now, "policy")
         if freed:
             self._dirty = True
             self._request_sched(now)
@@ -197,6 +226,15 @@ class Controller:
         )
         if self.running or self.pending or len(self.engine.queue) > 0:
             self.engine.at(now + self.sample_interval, EventKind.SAMPLE, None)
+
+    def _on_telemetry(self, engine: Engine, ev: Event) -> None:
+        """Sample the metric gauges on the telemetry cadence."""
+        now = engine.now
+        self.telemetry.sample_cluster(now, self)
+        if self.running or self.pending or len(self.engine.queue) > 0:
+            self.engine.at(
+                now + self.telemetry.sample_interval, EventKind.TELEMETRY, None
+            )
 
     # ------------------------------------------------------------------
     # Scheduling pass: FCFS + EASY backfill
@@ -220,13 +258,15 @@ class Controller:
                     # blocked head-of-queue job.
                     break
                 blocked = job
-                shadow = shadow_time(
-                    job,
-                    self.cluster,
-                    self.running.values(),
-                    now,
-                    self.policy.uses_disaggregation,
-                )
+                with self.telemetry.span("controller.backfill_shadow", now,
+                                         jid=job.jid):
+                    shadow = shadow_time(
+                        job,
+                        self.cluster,
+                        self.running.values(),
+                        now,
+                        self.policy.uses_disaggregation,
+                    )
                 continue
             backfill_seen += 1
             if backfill_seen > self.config.backfill_depth:
@@ -236,6 +276,7 @@ class Controller:
             alloc = self._try_plan(job)
             if alloc is not None:
                 self._start(job, alloc, now)
+                self.telemetry.inc("backfill_starts")
 
     def _try_plan(self, job: Job) -> Optional[JobAllocation]:
         """Cheap feasibility pre-checks, then the policy's planner."""
@@ -264,6 +305,8 @@ class Controller:
         job.last_progress_time = now
         self.running[job.jid] = job
         job.slowdown = self.model.slowdown(job, self.cluster, self.jobs)
+        self.telemetry.inc("jobs_started")
+        self.telemetry.observe_time("job_wait_s", now - job.submit_time)
         self.event_log.log(
             now, _ev.START, job.jid,
             f"nodes={alloc.nodes[:4]}{'...' if len(alloc.nodes) > 4 else ''} "
@@ -299,6 +342,7 @@ class Controller:
             self.engine.cancel(fev)
         self.wall_events.pop(job.jid, None)
         job.set_state(JobState.TIMEOUT)
+        self.telemetry.inc("timeouts")
         self.event_log.log(now, _ev.TIMEOUT, job.jid,
                            f"limit={job.walltime_limit:.0f}s")
         job.finish_time = now
@@ -325,6 +369,7 @@ class Controller:
         if ev is not None:
             self.engine.cancel(ev)
         job.set_state(JobState.KILLED)
+        self.telemetry.inc("oom_kills")
         self.event_log.log(now, _ev.OOM_KILL, job.jid,
                            f"restarts={job.restarts + 1}")
         self.result.oom_kills += 1

@@ -4,11 +4,20 @@ When enabled (``simulate(..., log_events=True)``) the controller records
 every job-lifecycle event and allocation resize.  The log supports
 filtering and text rendering, and is the basis for schedule debugging
 ("why did job 17 wait 3 hours?") without stepping through the engine.
+
+The default log is unbounded — complete history, memory proportional to
+the number of events, right for single runs you intend to inspect.  With
+``max_entries`` set it becomes a ring buffer keeping only the *newest*
+entries (``dropped`` counts the evicted ones): bounded memory for long
+campaigns, at the cost of losing the oldest history — ``for_job`` on an
+early job may then come back partial or empty.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterator, List, Optional
 
 
@@ -39,15 +48,32 @@ UNRUNNABLE = "unrunnable"
 
 @dataclass
 class EventLog:
-    """Append-only, time-ordered event log."""
+    """Append-only, time-ordered event log.
+
+    ``max_entries=None`` (the default) keeps everything; a positive
+    ``max_entries`` turns the log into a ring buffer that evicts the
+    oldest entry on overflow and counts evictions in ``dropped``.
+    """
 
     entries: List[LogEntry] = field(default_factory=list)
     enabled: bool = True
+    max_entries: Optional[int] = None
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None:
+            if self.max_entries <= 0:
+                raise ValueError(
+                    f"max_entries must be positive or None, got {self.max_entries}"
+                )
+            self.entries = deque(self.entries, maxlen=self.max_entries)
 
     def log(self, time: float, event: str, jid: Optional[int] = None,
             detail: str = "") -> None:
         if not self.enabled:
             return
+        if self.max_entries is not None and len(self.entries) == self.max_entries:
+            self.dropped += 1  # deque evicts the oldest on append
         self.entries.append(LogEntry(time, event, jid, detail))
 
     def __len__(self) -> int:
@@ -57,17 +83,20 @@ class EventLog:
         return iter(self.entries)
 
     def for_job(self, jid: int) -> List[LogEntry]:
-        """All events of one job, in order."""
+        """All events of one job, in order (ring mode: surviving ones)."""
         return [e for e in self.entries if e.jid == jid]
 
     def of_kind(self, event: str) -> List[LogEntry]:
         return [e for e in self.entries if e.event == event]
 
     def render(self, limit: Optional[int] = None) -> str:
-        entries = self.entries if limit is None else self.entries[:limit]
+        entries = list(islice(self.entries, limit)) if limit is not None \
+            else list(self.entries)
         lines = [e.render() for e in entries]
         if limit is not None and len(self.entries) > limit:
             lines.append(f"... ({len(self.entries) - limit} more)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} older entries dropped)")
         return "\n".join(lines)
 
 

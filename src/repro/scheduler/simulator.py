@@ -15,6 +15,8 @@ from ..core.engine import Engine
 from ..core.errors import SimulationError
 from ..jobs.job import Job
 from ..metrics.records import SimulationResult
+from ..obs.profiling import perf_section
+from ..obs.telemetry import Telemetry
 from ..policies import make_policy
 from ..policies.base import AllocationPolicy
 from ..slowdown.model import ContentionModel
@@ -32,6 +34,7 @@ def simulate(
     sample_interval: Optional[float] = None,
     log_events: bool = False,
     max_events: int = 50_000_000,
+    telemetry: Optional[Telemetry] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Run one scheduling simulation and return its metrics.
@@ -55,6 +58,13 @@ def simulate(
     log_events:
         Record a structured event log (``result.meta["event_log"]``) of
         submits, starts, finishes, resizes, and kills.
+    telemetry:
+        A :class:`repro.obs.Telemetry` instance to observe the run —
+        metric counters/gauges sampled on its simulated-time cadence,
+        control-loop spans, and (unless ``log_events`` already asked for
+        an unbounded log) a ring-buffered event log attached to
+        ``telemetry.event_log``.  ``None`` (default) keeps every hook a
+        no-op.
     """
     engine = Engine()
     if isinstance(policy, str):
@@ -74,13 +84,23 @@ def simulate(
             profiles if profiles is not None else profile_pool(),
             node_bw_gbps=config.node_bw_gbps,
         )
-    event_log = EventLog() if log_events else None
+    observed = telemetry is not None and telemetry.enabled
+    if log_events:
+        event_log = EventLog()
+    elif observed:
+        # Telemetry wants the event log for `repro trace`, but bounded:
+        # long campaigns must not grow without limit.
+        event_log = EventLog(max_entries=telemetry.max_log_entries)
+    else:
+        event_log = None
     controller = Controller(
         engine, cluster, pol, model, config,
         sample_interval=sample_interval, event_log=event_log,
+        telemetry=telemetry,
     )
     controller.load(jobs)
-    engine.run(max_events=max_events)
+    with perf_section("simulate.engine_run"):
+        engine.run(max_events=max_events)
     if controller.running or controller.pending:
         raise SimulationError(
             f"simulation drained with {len(controller.running)} running and "
@@ -91,4 +111,12 @@ def simulate(
     result.meta["config"] = config
     if event_log is not None:
         result.meta["event_log"] = event_log
+    if observed:
+        telemetry.event_log = event_log
+        telemetry.meta.setdefault("policy", pol.name)
+        telemetry.meta.setdefault("n_nodes", cluster.n_nodes)
+        telemetry.meta.setdefault(
+            "total_capacity_mb", cluster.total_capacity_mb()
+        )
+        telemetry.finish(result)
     return result

@@ -23,6 +23,14 @@ def test_package_tree_is_lint_clean():
     assert findings == [], "\n" + render_text(findings)
 
 
+def test_obs_subpackage_is_lint_clean():
+    # The telemetry layer's wall-clock use (spans, profiling) must stay
+    # outside the determinism-scoped dirs; linting it directly keeps the
+    # subpackage covered even if the tree-wide path set changes.
+    findings = lint_paths([str(PACKAGE_DIR / "obs")])
+    assert findings == [], "\n" + render_text(findings)
+
+
 def test_examples_and_benchmarks_are_lint_clean():
     # Determinism rules are path-scoped to the package, but the generic
     # rules (PY001/UNIT001) hold for the driver scripts too.

@@ -200,3 +200,82 @@ def test_lint_command_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("DET001", "DET002", "UNIT001", "UNIT002", "PY001", "INV001"):
         assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Observability: --telemetry, trace, -v/-q
+# ----------------------------------------------------------------------
+def test_simulate_telemetry_and_trace(tmp_path, capsys):
+    tel_dir = tmp_path / "tel"
+    rc = main(["simulate", "--jobs", "20", "--nodes", "48",
+               "--telemetry", str(tel_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote telemetry to" in out
+    for name in ("metrics.jsonl", "metrics.csv", "metrics.prom",
+                 "spans.jsonl", "events.jsonl", "meta.json"):
+        assert (tel_dir / name).exists()
+
+    rc = main(["trace", str(tel_dir), "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "counters" in out
+    assert "jobs_finished" in out
+    assert "slowest phases" in out
+
+    rc = main(["trace", str(tel_dir), "--job", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "job 0 lifecycle" in out
+    assert "submit" in out
+
+    rc = main(["trace", str(tel_dir), "--series"])
+    assert rc == 0
+    assert "sampled series" in capsys.readouterr().out
+
+
+def test_quiet_silences_status_lines(tmp_path, capsys):
+    out_file = tmp_path / "wl.json"
+    rc = main(["generate", "--jobs", "10", "--nodes", "32", "-q",
+               "--out", str(out_file)])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+    # The flag also works before the subcommand.
+    rc = main(["-q", "generate", "--jobs", "10", "--nodes", "32",
+               "--out", str(out_file)])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_quiet_keeps_result_output(capsys):
+    rc = main(["-q", "simulate", "--jobs", "10", "--nodes", "48",
+               "--policy", "baseline"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline on 100% memory" in out  # results always print
+
+
+def test_verbose_adds_detail(tmp_path, capsys):
+    out_file = tmp_path / "wl.json"
+    rc = main(["generate", "--jobs", "10", "--nodes", "32", "-v",
+               "--out", str(out_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote 10 jobs" in out
+    assert "n_jobs: 10" in out  # workload meta only shown with -v
+
+
+def test_campaign_telemetry_flag_and_eta(tmp_path, capsys):
+    out = tmp_path / "camp.jsonl"
+    tel_dir = tmp_path / "tel"
+    rc = main(["campaign", "fig5", "--scale", "small", "--out", str(out),
+               "--mixes", "0.0", "--memory-levels", "100",
+               "--overestimations", "0.0", "--telemetry", str(tel_dir)])
+    assert rc == 0
+    out_text = capsys.readouterr().out
+    assert "ETA" in out_text
+    assert "merged campaign metrics" in out_text
+    assert (tel_dir / "metrics.jsonl").exists()
+    assert (tel_dir / "metrics.prom").exists()
+    dumps = list((tel_dir / "scenarios").glob("*.json"))
+    assert len(dumps) == 3  # one per policy

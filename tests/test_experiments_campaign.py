@@ -100,14 +100,54 @@ def test_campaign_tolerates_blank_lines(tmp_path):
     assert len(records) == 2
 
 
+def _normalized_records(path):
+    """Campaign records with the wall-clock field dropped, sorted by key."""
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    for rec in records:
+        rec.pop("elapsed_s", None)
+    return sorted(records, key=lambda r: r["key"])
+
+
 def test_campaign_parallel_identical_to_serial(tmp_path):
     serial = tmp_path / "serial.jsonl"
     parallel = tmp_path / "parallel.jsonl"
     run_campaign(scenarios(), serial, workers=1)
     runner.clear_caches()
     run_campaign(scenarios(), parallel, workers=4)
-    assert (sorted(serial.read_text().splitlines())
-            == sorted(parallel.read_text().splitlines()))
+    assert _normalized_records(serial) == _normalized_records(parallel)
+
+
+def test_campaign_telemetry_merge_identical_serial_vs_parallel(tmp_path):
+    serial_dir = tmp_path / "tel_serial"
+    parallel_dir = tmp_path / "tel_parallel"
+    run_campaign(scenarios(), tmp_path / "s.jsonl", workers=1,
+                 telemetry_dir=serial_dir)
+    runner.clear_caches()
+    run_campaign(scenarios(), tmp_path / "p.jsonl", workers=2,
+                 telemetry_dir=parallel_dir)
+    for name in ("metrics.jsonl", "metrics.csv", "metrics.prom"):
+        assert (serial_dir / name).read_bytes() \
+            == (parallel_dir / name).read_bytes(), name
+    # Per-scenario dumps carry the namespaced slug prefix in the merge.
+    merged = (serial_dir / "metrics.jsonl").read_text()
+    assert "-static-" in merged and "-dynamic-" in merged
+
+
+def test_campaign_rerun_restores_missing_telemetry_dump(tmp_path):
+    tel_dir = tmp_path / "tel"
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios(), path, telemetry_dir=tel_dir)
+    dumps = sorted((tel_dir / "scenarios").glob("*.json"))
+    assert len(dumps) == 2
+    before = dumps[0].read_bytes()
+    dumps[0].unlink()
+    runner.clear_caches()
+    records = run_campaign(scenarios(), path, telemetry_dir=tel_dir)
+    # The scenario with the missing dump re-ran (dump regenerated
+    # bit-identically) without duplicating its JSONL record.
+    assert dumps[0].read_bytes() == before
+    assert len(records) == 2
+    assert len(path.read_text().strip().splitlines()) == 2
 
 
 def test_campaign_parallel_resumes(tmp_path):

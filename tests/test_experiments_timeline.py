@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.config import SystemConfig
-from repro.experiments.timeline import gantt, occupancy_strip, render_run
+from repro.experiments.timeline import (
+    gantt,
+    occupancy_strip,
+    render_run,
+    series_strips,
+)
 from repro.metrics.utilization import UtilizationTimeline
 from repro.scheduler.simulator import simulate
 from repro.slowdown.model import NullContentionModel
@@ -85,3 +90,33 @@ def test_render_run_without_timeline(tiny_config):
     out = render_run(res)
     assert "cluster occupancy" not in out
     assert "#" in out
+
+
+def test_series_strips_renders_telemetry_samples():
+    series = {
+        "queue_depth": ([0.0, 100.0, 200.0], [0.0, 4.0, 2.0]),
+        "running_jobs": ([0.0, 100.0, 200.0], [1.0, 1.0, 3.0]),
+    }
+    out = series_strips(series, width=30, title="sampled")
+    lines = out.splitlines()
+    assert lines[0] == "sampled"
+    assert lines[1].startswith(" queue_depth |")
+    assert "max=4" in lines[1]
+    assert lines[2].startswith("running_jobs |")
+    assert "max=3" in lines[2]
+    # The peak column renders the top-of-ramp glyph.
+    assert "@" in lines[1]
+
+
+def test_series_strips_all_zero_series():
+    out = series_strips({"idle": ([0.0, 10.0], [0.0, 0.0])}, width=20)
+    row = out.splitlines()[0]
+    assert row.startswith("idle |")
+    assert "max=0" in row
+
+
+def test_series_strips_empty_rejected():
+    with pytest.raises(ValueError):
+        series_strips({})
+    with pytest.raises(ValueError):
+        series_strips({"x": ([], [])})

@@ -1,0 +1,162 @@
+"""Deterministic metrics registry (repro.obs.registry)."""
+
+import pickle
+
+import pytest
+
+from repro.obs.export import (
+    metrics_csv,
+    metrics_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    c = Counter("jobs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_keeps_last_write_and_stamp():
+    g = Gauge("depth")
+    g.set(3, t=10.0)
+    g.set(1, t=20.0)
+    assert g.value == 1
+    assert g.last_t == 20.0
+
+
+def test_histogram_bucket_edges_le_semantics():
+    h = Histogram("h", bounds=(10.0, 20.0))
+    # le semantics: an observation equal to an edge lands in that bucket.
+    h.observe(10.0)
+    assert h.counts == [1, 0, 0]
+    h.observe(10.000001)
+    assert h.counts == [1, 1, 0]
+    h.observe(20.0)
+    assert h.counts == [1, 2, 0]
+    h.observe(20.5)  # overflow bucket
+    assert h.counts == [1, 2, 1]
+    assert h.count == 4
+    assert h.total == pytest.approx(60.500001)
+    labels = [label for label, _ in h.bucket_items()]
+    assert labels == ["10.0", "20.0", "+Inf"]
+
+
+def test_histogram_bounds_validated():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))
+    reg = MetricsRegistry()
+    reg.observe("h", 1.0, bounds=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        reg.histogram("h", bounds=(1.0, 3.0))
+
+
+def test_sample_appends_rows_in_sorted_name_order():
+    reg = MetricsRegistry()
+    reg.inc("z_counter", 2)
+    reg.inc("a_counter", 1)
+    reg.set_gauge("m_gauge", 7.0, t=5.0)
+    reg.sample(5.0)
+    assert reg.series == [
+        (5.0, "a_counter", 1.0),
+        (5.0, "z_counter", 2.0),
+        (5.0, "m_gauge", 7.0),
+    ]
+
+
+def _populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("jobs", 3)
+    reg.set_gauge("depth", 2.0, t=100.0)
+    reg.observe("wait_s", 45.0, bounds=(30.0, 60.0))
+    reg.observe("wait_s", 200.0)
+    reg.sample(100.0)
+    return reg
+
+
+def test_to_dict_from_dict_roundtrip_byte_identical():
+    reg = _populated()
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert metrics_jsonl(clone) == metrics_jsonl(reg)
+    assert metrics_csv(clone) == metrics_csv(reg)
+    assert prometheus_text(clone) == prometheus_text(reg)
+
+
+def test_registry_pickles():
+    reg = _populated()
+    clone = pickle.loads(pickle.dumps(reg))
+    assert metrics_jsonl(clone) == metrics_jsonl(reg)
+
+
+def test_merge_adds_counters_and_histograms():
+    a, b = _populated(), _populated()
+    a.merge(b)
+    assert a.counters["jobs"].value == 6
+    assert a.histograms["wait_s"].count == 4
+    assert len(a.series) == 4  # concatenated rows
+
+
+def test_merge_gauge_later_stamp_wins_regardless_of_order():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.set_gauge("g", 1.0, t=10.0)
+    b.set_gauge("g", 9.0, t=5.0)
+    ab = MetricsRegistry.from_dict(a.to_dict())
+    ab.merge(b)
+    ba = MetricsRegistry.from_dict(b.to_dict())
+    ba.merge(a)
+    assert ab.gauges["g"].value == ba.gauges["g"].value == 1.0
+
+
+def test_merge_is_order_independent_byte_identical():
+    # The parallel-campaign guarantee in miniature: folding the same
+    # child registries in any order serialises identically.
+    children = []
+    for i in range(3):
+        reg = MetricsRegistry()
+        reg.inc("jobs", i + 1)
+        reg.set_gauge("depth", float(i), t=float(i))
+        reg.observe("wait_s", 30.0 * (i + 1), bounds=(30.0, 60.0))
+        reg.sample(float(i))
+        children.append(reg)
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    for child in children:
+        forward.merge(child)
+    for child in reversed(children):
+        backward.merge(child)
+    assert metrics_jsonl(forward) == metrics_jsonl(backward)
+    assert prometheus_text(forward) == prometheus_text(backward)
+
+
+def test_merge_with_prefix_namespaces_all_metrics():
+    parent = MetricsRegistry()
+    parent.merge(_populated(), prefix="s0/")
+    assert "s0/jobs" in parent.counters
+    assert "s0/wait_s" in parent.histograms
+    assert all(name.startswith("s0/") for _, name, _ in parent.series)
+
+
+def test_prometheus_text_parses_and_sanitizes():
+    reg = _populated()
+    reg.inc("camp/slug-1.metric", 2)  # needs sanitising
+    samples = parse_prometheus_text(prometheus_text(reg))
+    assert samples["repro_jobs_total"] == 3
+    assert samples["repro_camp_slug_1_metric_total"] == 2
+    assert samples['repro_wait_s_bucket{le="+Inf"}'] == 2
+    assert sanitize_metric_name("a/b-c") == "repro_a_b_c"
+
+
+def test_parse_prometheus_rejects_malformed():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("repro_x_total 1\n")  # no TYPE line
+    with pytest.raises(ValueError):
+        parse_prometheus_text("# TYPE repro_x banana\nrepro_x 1\n")

@@ -1,0 +1,130 @@
+"""Telemetry facade and its simulate() integration (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.obs.export import metrics_jsonl, parse_prometheus_text
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.scheduler.simulator import simulate
+from repro.traces.pipeline import synthetic_workload
+
+N_NODES = 48
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(n_jobs=20, n_system_nodes=N_NODES, seed=0)
+
+
+def _config():
+    return SystemConfig.from_memory_level(100, n_nodes=N_NODES)
+
+
+def _run(workload, telemetry=None, policy="dynamic"):
+    return simulate(workload.fresh_jobs(), _config(), policy=policy,
+                    profiles=workload.profiles, telemetry=telemetry)
+
+
+def test_observed_run_has_identical_outcome(workload):
+    plain = _run(workload)
+    tel = Telemetry()
+    observed = _run(workload, telemetry=tel)
+    assert observed.summary() == plain.summary()
+    assert [(r.jid, r.start_time, r.finish_time) for r in observed.records] \
+        == [(r.jid, r.start_time, r.finish_time) for r in plain.records]
+
+
+def test_metrics_dump_byte_identical_across_runs(workload):
+    dumps = []
+    for _ in range(2):
+        tel = Telemetry()
+        _run(workload, telemetry=tel)
+        dumps.append(metrics_jsonl(tel.registry))
+    assert dumps[0] == dumps[1]
+
+
+def test_disabled_telemetry_adds_zero_records(workload):
+    plain = _run(workload)
+    null_run = _run(workload, telemetry=NULL_TELEMETRY)
+    # The null telemetry schedules no TELEMETRY events and attaches
+    # nothing to the result.
+    assert null_run.events_processed == plain.events_processed
+    assert "telemetry_dump" not in null_run.meta
+    assert len(NULL_TELEMETRY.registry) == 0
+    assert NULL_TELEMETRY.event_log is None
+    # An observed run *does* process extra (TELEMETRY) engine events.
+    tel = Telemetry()
+    observed = _run(workload, telemetry=tel)
+    assert observed.events_processed > plain.events_processed
+
+
+def test_expected_metrics_recorded(workload):
+    tel = Telemetry()
+    res = _run(workload, telemetry=tel)
+    reg = tel.registry
+    n = len(workload)
+    assert reg.counters["jobs_submitted"].value == n
+    assert reg.counters["jobs_started"].value == n
+    assert reg.counters["jobs_finished"].value == n
+    assert reg.counters["sched_passes"].value > 0
+    assert reg.histograms["job_wait_s"].count == n
+    assert reg.histograms["job_response_s"].count == n
+    assert len(reg.series) > 0
+    assert tel.meta["summary"] == res.summary()
+    assert tel.event_log is not None and len(tel.event_log) > 0
+
+
+def test_export_directory_layout(workload, tmp_path):
+    tel = Telemetry()
+    _run(workload, telemetry=tel)
+    out = tel.export(tmp_path / "tel")
+    names = sorted(p.name for p in out.iterdir())
+    assert names == ["events.jsonl", "meta.json", "metrics.csv",
+                     "metrics.jsonl", "metrics.prom", "spans.jsonl"]
+    samples = parse_prometheus_text((out / "metrics.prom").read_text())
+    assert samples["repro_jobs_finished_total"] == len(workload)
+    events = [json.loads(line)
+              for line in (out / "events.jsonl").read_text().splitlines()]
+    assert len(events) == len(tel.event_log)
+    meta = json.loads((out / "meta.json").read_text())
+    assert meta["policy"] == "dynamic"
+
+
+def test_event_log_ring_buffer_bound(workload):
+    tel = Telemetry(max_log_entries=10)
+    _run(workload, telemetry=tel)
+    assert len(tel.event_log) == 10
+    assert tel.event_log.dropped > 0
+
+
+def test_spans_can_be_disabled(workload):
+    tel = Telemetry(trace_spans=False)
+    _run(workload, telemetry=tel)
+    assert tel.tracer is None
+    # Metrics still collected.
+    assert tel.registry.counters["jobs_finished"].value == len(workload)
+
+
+def test_sample_interval_validated():
+    with pytest.raises(ValueError):
+        Telemetry(sample_interval=0.0)
+    with pytest.raises(ValueError):
+        Telemetry(sample_interval=-1.0)
+
+
+def test_phase_accumulator_aggregates_per_tick():
+    tel = Telemetry()
+    for _ in range(3):
+        with tel.phase("monitor"):
+            pass
+    with tel.phase("decider"):
+        pass
+    tel.flush_phases(600.0, "policy")
+    names = [(s.name, s.count, s.sim_t) for s in tel.tracer.spans]
+    assert names == [("policy.decider", 1, 600.0),
+                     ("policy.monitor", 3, 600.0)]
+    # Accumulator resets after the flush.
+    tel.flush_phases(900.0, "policy")
+    assert len(tel.tracer.spans) == 2

@@ -43,6 +43,42 @@ def test_null_log_records_nothing():
     assert len(log) == 0
 
 
+def test_ring_buffer_keeps_newest_and_counts_dropped():
+    log = EventLog(max_entries=3)
+    for i in range(10):
+        log.log(float(i), ev.SUBMIT, i)
+    assert len(log) == 3
+    assert log.dropped == 7
+    assert [e.jid for e in log] == [7, 8, 9]
+    # An early job's history is gone — partial views are documented.
+    assert log.for_job(0) == []
+    assert "(7 older entries dropped)" in log.render()
+
+
+def test_ring_buffer_render_with_limit():
+    log = EventLog(max_entries=5)
+    for i in range(8):
+        log.log(float(i), ev.SUBMIT, i)
+    text = log.render(limit=2)
+    assert "(3 more)" in text
+    assert "(3 older entries dropped)" in text
+
+
+def test_ring_buffer_below_capacity_drops_nothing():
+    log = EventLog(max_entries=100)
+    for i in range(10):
+        log.log(float(i), ev.SUBMIT, i)
+    assert len(log) == 10
+    assert log.dropped == 0
+
+
+def test_ring_buffer_validates_bound():
+    with pytest.raises(ValueError):
+        EventLog(max_entries=0)
+    with pytest.raises(ValueError):
+        EventLog(max_entries=-5)
+
+
 def test_simulation_with_logging(tiny_config):
     jobs = [make_job(jid=i, submit=float(i * 10), runtime=300.0)
             for i in range(3)]
