@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-json test check bench-parallel bench-obs obs-smoke
+.PHONY: lint lint-json test check bench-parallel bench-obs obs-smoke bench-sim
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -37,3 +37,8 @@ bench-obs:
 # dumps repeat byte-identically and the Prometheus export parses.
 obs-smoke:
 	$(PYTHON) benchmarks/bench_obs.py --jobs 20 --nodes 48 --repeats 2
+
+# End-to-end simulate() wall clock at paper scale vs the recorded
+# pre-optimisation baseline; writes benchmarks/output/BENCH_sim.json
+bench-sim:
+	$(PYTHON) benchmarks/bench_sim.py

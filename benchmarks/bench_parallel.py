@@ -88,6 +88,10 @@ def main(argv=None) -> int:
         print(f"parallel: {parallel_s:8.2f} s  ({args.workers} workers)")
         identical = _normalized(serial_path) == _normalized(parallel_path)
 
+    cpu_count = os.cpu_count() or 1
+    # A runner with fewer CPUs than workers cannot show a speedup; record
+    # the fact instead of letting a <1x figure read as a regression.
+    cpu_limited = cpu_count < args.workers
     record = {
         "grid": "fig5",
         "scale": args.scale,
@@ -97,12 +101,17 @@ def main(argv=None) -> int:
         "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
         "identical_records": identical,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "cpu_limited": cpu_limited,
     }
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"speedup:  {record['speedup']}x  "
+    note = (
+        f" [cpu_limited: {cpu_count} CPUs < {args.workers} workers; "
+        "speedup figure is not meaningful]" if cpu_limited else ""
+    )
+    print(f"speedup:  {record['speedup']}x{note}  "
           f"(records identical: {identical}); wrote {out}")
     return 0 if identical else 1
 

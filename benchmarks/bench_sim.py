@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: single-run ``simulate()`` hot-path timing.
+
+Measures end-to-end :func:`repro.scheduler.simulator.simulate` wall clock
+at *paper scale* (>= 1024 nodes, dynamic/static/baseline policies) and on
+a reduced Fig. 5 small grid, then writes ``benchmarks/output/BENCH_sim.json``.
+
+The pre-optimisation timings live in
+``benchmarks/output/BENCH_sim_baseline.json`` (recorded once with
+``--record-baseline`` before the incremental-ledger work landed); a normal
+run reads that file and reports the speedup of the current tree against it
+in the same output record:
+
+```json
+{"baseline": {...}, "current": {...},
+ "speedup": {"paper_scale_dynamic": 3.1, "fig5_small_grid": 1.8}}
+```
+
+Usage (CI runs the smoke variant and uploads the JSON as an artifact):
+
+    python benchmarks/bench_sim.py                 # full bench
+    python benchmarks/bench_sim.py --jobs 300      # reduced smoke
+    python benchmarks/bench_sim.py --record-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import runner  # noqa: E402
+from repro.experiments.campaign import fig5_scenarios, run_campaign  # noqa: E402
+from repro.experiments.scenarios import SCALES, Scenario  # noqa: E402
+from repro.scheduler.simulator import simulate  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+BASELINE_PATH = OUTPUT_DIR / "BENCH_sim_baseline.json"
+
+#: Paper-scale single runs: >= 1024 nodes (paper evaluates 1024 synthetic
+#: and 1490 Grizzly nodes).  Memory level 50 forces heavy borrowing, which
+#: exercises the lender-demand / repricing hot path.
+PAPER_NODES = 1024
+
+
+def _paper_scenario(policy: str, n_jobs: int, seed: int) -> Scenario:
+    return Scenario(
+        trace="synthetic",
+        policy=policy,
+        memory_level=50,
+        frac_large=0.25,
+        overestimation=0.0,
+        n_nodes=PAPER_NODES,
+        n_jobs=n_jobs,
+        seed=seed,
+    )
+
+
+def _time_simulate(scenario: Scenario, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock of one simulate() call (workload
+    generation excluded; the workload is built once and re-materialised
+    per repeat via ``fresh_jobs``)."""
+    wl = runner.base_workload(scenario)
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        jobs = wl.fresh_jobs()
+        t0 = time.perf_counter()
+        res = simulate(
+            jobs,
+            scenario.system_config(),
+            policy=scenario.policy,
+            profiles=wl.profiles,
+        )
+        best = min(best, time.perf_counter() - t0)
+        events = res.events_processed
+    return {
+        "policy": scenario.policy,
+        "n_nodes": scenario.n_nodes,
+        "n_jobs": scenario.n_jobs,
+        "events": events,
+        "best_s": round(best, 3),
+    }
+
+
+def _time_fig5_grid(n_jobs_scale: str, repeats: int) -> dict:
+    """Serial wall clock of a reduced fig5 grid campaign (cold caches)."""
+    grid = fig5_scenarios(
+        scale=SCALES[n_jobs_scale],
+        mixes=(0.25,),
+        memory_levels=(50, 100),
+        overestimations=(0.0,),
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        runner.clear_caches()
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            run_campaign(grid, Path(tmp) / "bench.jsonl", workers=1)
+            best = min(best, time.perf_counter() - t0)
+    return {"scale": n_jobs_scale, "n_scenarios": len(grid), "best_s": round(best, 3)}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=1000,
+                    help="jobs in the paper-scale single runs")
+    ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--scale", choices=sorted(SCALES), default="small",
+                    help="fig5 grid scale")
+    ap.add_argument("--skip-grid", action="store_true",
+                    help="paper-scale runs only (fast CI smoke)")
+    ap.add_argument("--record-baseline", action="store_true",
+                    help=f"write the measurements to {BASELINE_PATH.name} "
+                         "instead of BENCH_sim.json")
+    ap.add_argument("--out", default=str(OUTPUT_DIR / "BENCH_sim.json"))
+    args = ap.parse_args(argv)
+
+    measurements: dict = {"paper_scale": [], "python": platform.python_version()}
+    for policy in ("dynamic", "static", "baseline"):
+        sc = _paper_scenario(policy, args.jobs, args.seed)
+        m = _time_simulate(sc, args.repeats)
+        measurements["paper_scale"].append(m)
+        print(f"paper-scale {policy:8s}: {m['best_s']:8.3f} s  "
+              f"({m['events']} events, {sc.n_nodes} nodes, {sc.n_jobs} jobs)")
+    if not args.skip_grid:
+        g = _time_fig5_grid(args.scale, args.repeats)
+        measurements["fig5_grid"] = g
+        print(f"fig5 {g['scale']} grid ({g['n_scenarios']} scenarios): "
+              f"{g['best_s']:8.3f} s")
+
+    if args.record_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(measurements, indent=2) + "\n")
+        print(f"recorded baseline -> {BASELINE_PATH}")
+        return 0
+
+    record = {"current": measurements}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        record["baseline"] = baseline
+        speedup = {}
+        base_by_policy = {m["policy"]: m for m in baseline.get("paper_scale", [])}
+        for m in measurements["paper_scale"]:
+            b = base_by_policy.get(m["policy"])
+            if b and b.get("n_jobs") == m["n_jobs"] and m["best_s"] > 0:
+                speedup[f"paper_scale_{m['policy']}"] = round(
+                    b["best_s"] / m["best_s"], 3
+                )
+        if "fig5_grid" in measurements and "fig5_grid" in baseline:
+            cur, base = measurements["fig5_grid"], baseline["fig5_grid"]
+            if base.get("scale") == cur["scale"] and cur["best_s"] > 0:
+                speedup["fig5_small_grid"] = round(
+                    base["best_s"] / cur["best_s"], 3
+                )
+        record["speedup"] = speedup
+        for name, s in sorted(speedup.items()):
+            print(f"speedup {name}: {s}x")
+    else:
+        print(f"no baseline at {BASELINE_PATH}; recording current timings only")
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ behalf of each compute node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -25,26 +25,96 @@ class JobAllocation:
     remote_mb:
         Per compute node, a map ``lender node -> MB`` borrowed from the
         disaggregated pool on that lender.
+
+    An allocation starts *unsealed*: policies build the maps freely and
+    every total is computed by summation.  :meth:`repro.cluster.Cluster.apply`
+    *seals* the record — the totals become cached integers that the
+    cluster's mutators keep current via :meth:`_bump_local` /
+    :meth:`_bump_remote` — so the contention model's per-event reads
+    (``total_remote``, ``remote_fraction``, ``total_on``) are O(1)
+    instead of O(nodes x lenders).  Mutating the maps of a sealed
+    allocation behind the cluster's back desyncs the caches;
+    ``Cluster.check_invariants`` cross-checks them against brute-force
+    recomputation.
     """
 
     nodes: List[int] = field(default_factory=list)
     local_mb: Dict[int, int] = field(default_factory=dict)
     remote_mb: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    #: sealed caches (``None`` while unsealed), maintained by ``Cluster``
+    _total_local: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _total_remote: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _remote_on: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Seal maintenance (called by Cluster only)
+    # ------------------------------------------------------------------
+    def _seal(self) -> None:
+        """Cache the totals; the cluster keeps them current from here on."""
+        self._total_local = sum(self.local_mb.values())
+        self._total_remote = sum(sum(m.values()) for m in self.remote_mb.values())
+        self._remote_on = {
+            node: sum(m.values()) for node, m in self.remote_mb.items()
+        }
+
+    def _bump_local(self, delta: int) -> None:
+        if self._total_local is not None:
+            self._total_local += delta
+
+    def _bump_remote(self, node: int, delta: int) -> None:
+        if self._total_remote is not None:
+            self._total_remote += delta
+            self._remote_on[node] = self._remote_on.get(node, 0) + delta
+            if self._remote_on[node] == 0:
+                del self._remote_on[node]
+
+    def check_seal(self) -> None:
+        """Raise ``ValueError`` if the sealed caches drifted from the maps."""
+        if self._total_local is None:
+            return
+        if self._total_local != sum(self.local_mb.values()):
+            raise ValueError(
+                f"sealed total_local {self._total_local} != "
+                f"{sum(self.local_mb.values())}"
+            )
+        brute_remote = {
+            node: sum(m.values()) for node, m in self.remote_mb.items() if m
+        }
+        cached = {n: mb for n, mb in (self._remote_on or {}).items() if mb}
+        if cached != brute_remote:
+            raise ValueError(f"sealed remote_on {cached} != {brute_remote}")
+        if self._total_remote != sum(brute_remote.values()):
+            raise ValueError(
+                f"sealed total_remote {self._total_remote} != "
+                f"{sum(brute_remote.values())}"
+            )
 
     # ------------------------------------------------------------------
     def local_on(self, node: int) -> int:
         return self.local_mb.get(node, 0)
 
     def remote_on(self, node: int) -> int:
+        if self._remote_on is not None:
+            return self._remote_on.get(node, 0)
         return sum(self.remote_mb.get(node, {}).values())
 
     def total_on(self, node: int) -> int:
         return self.local_on(node) + self.remote_on(node)
 
     def total_local(self) -> int:
+        if self._total_local is not None:
+            return self._total_local
         return sum(self.local_mb.values())
 
     def total_remote(self) -> int:
+        if self._total_remote is not None:
+            return self._total_remote
         return sum(sum(m.values()) for m in self.remote_mb.values())
 
     def total(self) -> int:

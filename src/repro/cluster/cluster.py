@@ -14,11 +14,24 @@ property-tested):
 * the sum of all lent memory equals the sum of all borrowed memory across
   the live :class:`~repro.cluster.allocation.JobAllocation` records;
 * a node runs at most one job (nodes are CPU-exclusive, paper §2.1).
+
+Incremental aggregates (this module's hot-path contract): every mutator
+(:meth:`Cluster.apply` / :meth:`~Cluster.release` /
+:meth:`~Cluster.grow_local` / :meth:`~Cluster.shrink_local` /
+:meth:`~Cluster.add_remote` / :meth:`~Cluster.remove_remote`) updates
+running scalar aggregates (``busy_count``, ``lent_total``,
+``local_used_total``, ``memory_node_count``, ``startable_count``) and a
+maintained ``free_local`` vector in place, so per-event accounting,
+scheduling pre-checks, backfill shadow estimation and telemetry sampling
+are O(changed nodes) instead of O(n_nodes).
+:meth:`~Cluster.recompute_aggregates` is the brute-force path that
+:meth:`~Cluster.check_invariants` (and the property tests) cross-check
+the incremental values against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +40,11 @@ from ..core.errors import AllocationError
 from ..obs.profiling import perf_section
 from .allocation import JobAllocation
 from .node import Node
+
+#: Bound on the free-ledger delta log.  When it overflows, the oldest
+#: entries are dropped and consumers that fell behind (see
+#: :meth:`Cluster.free_changes_since`) rebuild their index from scratch.
+FREE_LOG_LIMIT = 4096
 
 
 class Cluster:
@@ -52,6 +70,38 @@ class Cluster:
         self.lender_jobs: List[Dict[int, int]] = [dict() for _ in range(n)]
         self._torus = None
         self._distance_rows: Dict[int, np.ndarray] = {}
+        # ---- incremental aggregates --------------------------------------
+        #: number of busy (job-running) nodes
+        self.busy_count: int = 0
+        #: number of busy *large* nodes (per-class idle counts for backfill)
+        self.busy_large_count: int = 0
+        #: total DRAM consumed by jobs on their own nodes (MB)
+        self.local_used_total: int = 0
+        #: total DRAM lent to remote borrowers (MB)
+        self.lent_total: int = 0
+        #: nodes that lent more than half their capacity
+        self.memory_node_count: int = 0
+        #: idle nodes that are not memory nodes (may start a job)
+        self.startable_count: int = n
+        self._total_capacity: int = int(self.capacity_mb.sum())
+        self._n_large: int = int(n_large)
+        # Maintained free-DRAM vector; exposed through a read-only view so
+        # consumers cannot desync it (they copy before scratch mutations).
+        self._free_local = self.capacity_mb - self.local_used_mb - self.lent_mb
+        self._free_view = self._free_local.view()
+        self._free_view.flags.writeable = False
+        self._memnode = np.zeros(n, dtype=bool)
+        self._memnode_view = self._memnode.view()
+        self._memnode_view.flags.writeable = False
+        #: bumped once per node whose free DRAM changed (index generation)
+        self.generation: int = 0
+        # Delta log: nodes touched at generations [_free_log_base, generation)
+        self._free_log: List[int] = []
+        self._free_log_base: int = 0
+        #: demand-ledger listeners, called as ``listener(cluster, lenders)``
+        #: whenever the borrow layout or total allocation of a job changes
+        #: (``lenders`` = the job's lender nodes whose demand may change)
+        self._demand_listeners: List[Callable[["Cluster", Sequence[int]], None]] = []
 
     # ------------------------------------------------------------------
     # Interconnect (lazy; used by topology-aware lending and the optional
@@ -84,36 +134,144 @@ class Cluster:
         return Node(self, index)
 
     def free_local(self) -> np.ndarray:
-        """Physically free DRAM per node (vector)."""
-        return self.capacity_mb - self.local_used_mb - self.lent_mb
+        """Physically free DRAM per node (maintained read-only vector)."""
+        return self._free_view
 
     def is_memory_node(self) -> np.ndarray:
         """Mask of nodes that lent more than half their capacity."""
-        return self.lent_mb * 2 > self.capacity_mb
+        return self._memnode_view
 
     def startable(self) -> np.ndarray:
         """Mask of nodes on which a new job may start (idle, not a memory node)."""
-        return (~self.busy) & ~self.is_memory_node()
+        return (~self.busy) & ~self._memnode
+
+    @property
+    def free_local_total(self) -> int:
+        """Total physically free DRAM across all nodes (MB, O(1))."""
+        return self._total_capacity - self.local_used_total - self.lent_total
+
+    @property
+    def allocated_total(self) -> int:
+        """Total allocated DRAM, local plus lent (MB, O(1))."""
+        return self.local_used_total + self.lent_total
 
     def n_idle(self) -> int:
-        return int((~self.busy).sum())
+        return self.n_nodes - self.busy_count
 
     def total_capacity_mb(self) -> int:
-        return int(self.capacity_mb.sum())
+        return self._total_capacity
 
     def total_allocated_mb(self) -> int:
-        return int(self.local_used_mb.sum() + self.lent_mb.sum())
+        return self.local_used_total + self.lent_total
+
+    def fitting_idle_count(self, request_mb: int) -> int:
+        """Idle nodes whose *capacity* covers ``request_mb`` (O(1)).
+
+        Capacity takes exactly two values (normal/large node classes), so
+        the count follows from the per-class idle tallies.
+        """
+        idle_large = self._n_large - self.busy_large_count
+        idle_normal = (self.n_nodes - self._n_large) - (
+            self.busy_count - self.busy_large_count
+        )
+        count = 0
+        if self.config.large_mem_mb >= request_mb:
+            count += idle_large
+        if self.config.normal_mem_mb >= request_mb:
+            count += idle_normal
+        return count
 
     def memory_utilization(self) -> float:
         cap = self.total_capacity_mb()
         return self.total_allocated_mb() / cap if cap else 0.0
 
     def cpu_utilization(self) -> float:
-        return float(self.busy.sum()) / self.n_nodes if self.n_nodes else 0.0
+        return float(self.busy_count) / self.n_nodes if self.n_nodes else 0.0
 
     def borrowers_of(self, lender: int) -> Dict[int, int]:
         """Jobs currently borrowing from ``lender`` (job id -> MB)."""
         return self.lender_jobs[lender]
+
+    def free_changes_since(self, generation: int) -> Optional[List[int]]:
+        """Nodes whose free DRAM changed since ``generation``.
+
+        Returns ``None`` when the delta log no longer reaches back that
+        far (the consumer must rebuild its index from scratch).  Entries
+        may repeat; consumers deduplicate.
+        """
+        if generation < self._free_log_base:
+            return None
+        return self._free_log[generation - self._free_log_base:]
+
+    # ------------------------------------------------------------------
+    # Demand-ledger listeners (incremental contention bookkeeping)
+    # ------------------------------------------------------------------
+    def add_demand_listener(
+        self, listener: Callable[["Cluster", Sequence[int]], None]
+    ) -> None:
+        """Register ``listener(cluster, lenders)`` for borrow-layout changes."""
+        if listener not in self._demand_listeners:
+            self._demand_listeners.append(listener)
+
+    def remove_demand_listener(self, listener) -> None:
+        try:
+            self._demand_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_demand(self, lenders: Sequence[int]) -> None:
+        if lenders:
+            for listener in self._demand_listeners:
+                listener(self, lenders)
+
+    # ------------------------------------------------------------------
+    # Incremental ledger maintenance (every mutation funnels through here)
+    # ------------------------------------------------------------------
+    def _log_free(self, node: int) -> None:
+        """Record that ``node``'s free DRAM changed (index delta log)."""
+        self.generation += 1
+        log = self._free_log
+        log.append(node)
+        if len(log) > FREE_LOG_LIMIT:
+            drop = len(log) // 2
+            del log[:drop]
+            self._free_log_base += drop
+
+    def _touch_local(self, node: int, delta: int) -> None:
+        self.local_used_mb[node] += delta
+        self._free_local[node] -= delta
+        self.local_used_total += delta
+        self._log_free(node)
+
+    def _touch_lent(self, node: int, delta: int) -> None:
+        self.lent_mb[node] += delta
+        self._free_local[node] -= delta
+        self.lent_total += delta
+        self._log_free(node)
+        is_mem = self.lent_mb[node] * 2 > self.capacity_mb[node]
+        if is_mem != self._memnode[node]:
+            self._memnode[node] = is_mem
+            self.memory_node_count += 1 if is_mem else -1
+            if not self.busy[node]:
+                self.startable_count += -1 if is_mem else 1
+
+    def _set_busy(self, node: int, jid: int) -> None:
+        self.busy[node] = True
+        self.job_on_node[node] = jid
+        self.busy_count += 1
+        if self.is_large[node]:
+            self.busy_large_count += 1
+        if not self._memnode[node]:
+            self.startable_count -= 1
+
+    def _set_idle(self, node: int) -> None:
+        self.busy[node] = False
+        self.job_on_node[node] = -1
+        self.busy_count -= 1
+        if self.is_large[node]:
+            self.busy_large_count -= 1
+        if not self._memnode[node]:
+            self.startable_count += 1
 
     # ------------------------------------------------------------------
     # Whole-allocation apply / release
@@ -160,16 +318,17 @@ class Cluster:
                 )
         # Commit.
         for node in alloc.nodes:
-            self.busy[node] = True
-            self.job_on_node[node] = jid
+            self._set_busy(node, jid)
         for node, mb in alloc.local_mb.items():
-            self.local_used_mb[node] += mb
+            self._touch_local(node, mb)
         for lender, mb in borrow_totals.items():
-            self.lent_mb[lender] += mb
+            self._touch_lent(lender, mb)
             self.lender_jobs[lender][jid] = (
                 self.lender_jobs[lender].get(jid, 0) + mb
             )
         self.allocations[jid] = alloc
+        alloc._seal()
+        self._notify_demand(list(borrow_totals))
 
     def release(self, jid: int) -> JobAllocation:
         """Release all resources of job ``jid`` and return its allocation."""
@@ -181,17 +340,19 @@ class Cluster:
         if alloc is None:
             raise AllocationError(f"job {jid} has no allocation to release")
         for node in alloc.nodes:
-            self.busy[node] = False
-            self.job_on_node[node] = -1
+            self._set_idle(node)
         for node, mb in alloc.local_mb.items():
-            self.local_used_mb[node] -= mb
+            self._touch_local(node, -mb)
+        released_lenders: List[int] = []
         for node, lender_map in alloc.remote_mb.items():
             for lender, mb in lender_map.items():
-                self.lent_mb[lender] -= mb
+                self._touch_lent(lender, -mb)
                 rec = self.lender_jobs[lender]
                 rec[jid] -= mb
                 if rec[jid] <= 0:
                     del rec[jid]
+                released_lenders.append(lender)
+        self._notify_demand(released_lenders)
         return alloc
 
     # ------------------------------------------------------------------
@@ -202,11 +363,16 @@ class Cluster:
         alloc = self._alloc_of(jid, node)
         if mb <= 0:
             raise AllocationError(f"grow_local needs positive MB, got {mb}")
-        free = int(self.capacity_mb[node] - self.local_used_mb[node] - self.lent_mb[node])
+        free = int(self._free_local[node])
         if mb > free:
             raise AllocationError(f"node {node}: {free}MB free, need {mb}MB")
-        self.local_used_mb[node] += mb
+        self._touch_local(node, mb)
         alloc.local_mb[node] = alloc.local_mb.get(node, 0) + mb
+        alloc._bump_local(mb)
+        # The job's total allocation changed, so its remote fraction —
+        # and with it the demand it places on every one of its lenders —
+        # changed too.
+        self._notify_demand([lender for lender, _ in alloc.lenders()])
 
     def shrink_local(self, jid: int, node: int, mb: int) -> None:
         """Take ``mb`` of local DRAM on ``node`` back from job ``jid``."""
@@ -216,8 +382,10 @@ class Cluster:
             raise AllocationError(
                 f"shrink_local {mb}MB invalid; job {jid} holds {have}MB on {node}"
             )
-        self.local_used_mb[node] -= mb
+        self._touch_local(node, -mb)
         alloc.local_mb[node] = have - mb
+        alloc._bump_local(-mb)
+        self._notify_demand([lender for lender, _ in alloc.lenders()])
 
     def add_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
         """Borrow ``mb`` from ``lender`` on behalf of compute node ``node``."""
@@ -226,15 +394,15 @@ class Cluster:
             raise AllocationError(f"add_remote needs positive MB, got {mb}")
         if lender == node:
             raise AllocationError(f"node {node} cannot lend remote memory to itself")
-        free = int(
-            self.capacity_mb[lender] - self.local_used_mb[lender] - self.lent_mb[lender]
-        )
+        free = int(self._free_local[lender])
         if mb > free:
             raise AllocationError(f"lender {lender}: {free}MB free, need {mb}MB")
-        self.lent_mb[lender] += mb
+        self._touch_lent(lender, mb)
         self.lender_jobs[lender][jid] = self.lender_jobs[lender].get(jid, 0) + mb
         node_map = alloc.remote_mb.setdefault(node, {})
         node_map[lender] = node_map.get(lender, 0) + mb
+        alloc._bump_remote(node, mb)
+        self._notify_demand([ln for ln, _ in alloc.lenders()])
 
     def remove_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
         """Return ``mb`` borrowed from ``lender`` for compute node ``node``."""
@@ -245,7 +413,7 @@ class Cluster:
             raise AllocationError(
                 f"remove_remote {mb}MB invalid; borrowing {have}MB from {lender}"
             )
-        self.lent_mb[lender] -= mb
+        self._touch_lent(lender, -mb)
         rec = self.lender_jobs[lender]
         rec[jid] -= mb
         if rec[jid] <= 0:
@@ -255,6 +423,12 @@ class Cluster:
             del node_map[lender]
         if not node_map and node in alloc.remote_mb:
             del alloc.remote_mb[node]
+        alloc._bump_remote(node, -mb)
+        # ``lender`` may no longer appear in the job's lender set; include
+        # it explicitly so its demand entry is invalidated.
+        dirty = [ln for ln, _ in alloc.lenders()]
+        dirty.append(lender)
+        self._notify_demand(dirty)
 
     def _alloc_of(self, jid: int, node: int) -> JobAllocation:
         alloc = self.allocations.get(jid)
@@ -267,6 +441,38 @@ class Cluster:
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
+    def recompute_aggregates(self) -> Dict[str, int]:
+        """Brute-force recomputation of every incremental aggregate.
+
+        The returned values are what the running aggregates *should* be;
+        :meth:`check_invariants` and the property tests compare them
+        against the incrementally maintained attributes.
+        """
+        memnode = self.lent_mb * 2 > self.capacity_mb
+        return {
+            "busy_count": int(self.busy.sum()),
+            "busy_large_count": int((self.busy & self.is_large).sum()),
+            "local_used_total": int(self.local_used_mb.sum()),
+            "lent_total": int(self.lent_mb.sum()),
+            "memory_node_count": int(memnode.sum()),
+            "startable_count": int(((~self.busy) & ~memnode).sum()),
+        }
+
+    def _check_aggregates(self) -> None:
+        """Cross-check the incremental aggregates against brute force."""
+        brute = self.recompute_aggregates()
+        for name, want in brute.items():
+            have = getattr(self, name)
+            if have != want:
+                raise AllocationError(
+                    f"incremental aggregate {name}={have} != recomputed {want}"
+                )
+        fresh_free = self.capacity_mb - self.local_used_mb - self.lent_mb
+        if not np.array_equal(self._free_local, fresh_free):
+            raise AllocationError("maintained free_local vector out of sync")
+        if not np.array_equal(self._memnode, self.lent_mb * 2 > self.capacity_mb):
+            raise AllocationError("maintained memory-node mask out of sync")
+
     def check_invariants(self) -> None:
         """Raise :class:`AllocationError` if any ledger invariant is broken."""
         if (self.local_used_mb < 0).any() or (self.lent_mb < 0).any():
@@ -277,9 +483,13 @@ class Cluster:
         local = np.zeros(self.n_nodes, dtype=np.int64)
         lent = np.zeros(self.n_nodes, dtype=np.int64)
         busy_nodes: set[int] = set()
+        # Per (lender, job) borrowed MB rebuilt from the allocation records,
+        # compared exactly against ``lender_jobs`` below.
+        expected_lender_jobs: Dict[int, Dict[int, int]] = {}
         for jid, alloc in self.allocations.items():
             try:
                 alloc.check_conservation()
+                alloc.check_seal()
             except ValueError as exc:
                 raise AllocationError(f"job {jid}: {exc}") from exc
             for node in alloc.nodes:
@@ -293,12 +503,8 @@ class Cluster:
             for node, lender_map in alloc.remote_mb.items():
                 for lender, mb in lender_map.items():
                     lent[lender] += mb
-                    if self.lender_jobs[lender].get(jid, 0) < mb - sum(
-                        m.get(lender, 0)
-                        for n2, m in alloc.remote_mb.items()
-                        if n2 != node
-                    ):
-                        pass  # aggregate check below covers totals
+                    per_lender = expected_lender_jobs.setdefault(lender, {})
+                    per_lender[jid] = per_lender.get(jid, 0) + mb
         if not np.array_equal(local, self.local_used_mb):
             raise AllocationError("local_used ledger out of sync with allocations")
         if not np.array_equal(lent, self.lent_mb):
@@ -306,5 +512,10 @@ class Cluster:
         if busy_nodes != set(np.flatnonzero(self.busy)):
             raise AllocationError("busy mask out of sync with allocations")
         for lender, rec in enumerate(self.lender_jobs):
-            if sum(rec.values()) != self.lent_mb[lender]:
-                raise AllocationError(f"lender_jobs out of sync on node {lender}")
+            expected = expected_lender_jobs.get(lender, {})
+            if rec != expected:
+                raise AllocationError(
+                    f"lender_jobs[{lender}] {rec} != {expected} rebuilt from "
+                    "the live allocations"
+                )
+        self._check_aggregates()

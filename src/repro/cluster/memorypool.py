@@ -5,6 +5,15 @@ is borrowed from *lender* nodes.  The paper's static policy (Zacarias et
 al., §2.1) borrows from the nodes with the most free memory; a
 round-robin alternative is provided as an ablation
 (`DESIGN.md §5`).
+
+The *most-free* orderings are served from a :class:`SortedFreeIndex`: a
+lazily maintained sorted view of the cluster's free-DRAM ledger, rebuilt
+only when the cluster's generation stamp moved and — for small deltas —
+repaired in place from the cluster's free-change log instead of re-sorting
+all nodes.  The index orders are bit-compatible with the previous
+per-request ``np.argsort`` calls (descending free / ascending node id, and
+the ascending variant used by best-fit node selection), so plans are
+byte-identical to the unindexed path.
 """
 
 from __future__ import annotations
@@ -23,6 +32,152 @@ ROUND_ROBIN = "round-robin"
 NEAREST = "nearest"
 STRATEGIES = (MOST_FREE, ROUND_ROBIN, NEAREST)
 
+#: Above this many distinct dirty nodes a full re-sort beats in-place
+#: repair (np.delete/np.insert are O(n) memmoves; argsort is O(n log n)
+#: but with a larger constant only for small deltas).
+REPAIR_LIMIT = 32
+
+
+class SortedFreeIndex:
+    """Sorted free-DRAM node order, maintained against a cluster.
+
+    ``descending=True`` orders by (free desc, node asc) — the lender
+    visiting order of the most-free strategy; ``descending=False`` orders
+    by (free asc, node asc) — the best-fit node-selection order.  Node
+    ids are folded into the sort key (``key = ±free·n + node``), which
+    makes keys unique, the order total, and repairs exact.
+    """
+
+    def __init__(self, cluster: Cluster, descending: bool = True):
+        self.cluster = cluster
+        self.descending = descending
+        self._gen: Optional[int] = None
+        self._nodes: Optional[np.ndarray] = None   # node ids, key-ascending
+        self._keys: Optional[np.ndarray] = None    # sorted key values
+        self._node_key: Optional[np.ndarray] = None  # node id -> its key
+        #: diagnostics: how often the index fully re-sorted vs repaired
+        self.rebuilds = 0
+        self.repairs = 0
+
+    def _key_of(self, free: np.ndarray) -> np.ndarray:
+        n = self.cluster.n_nodes
+        sign = -1 if self.descending else 1
+        return sign * free * n + np.arange(n, dtype=np.int64)
+
+    def _rebuild(self) -> None:
+        keys = self._key_of(np.asarray(self.cluster.free_local()))
+        order = np.argsort(keys, kind="stable")
+        self._nodes = order
+        self._keys = keys[order]
+        self._node_key = keys
+        self.rebuilds += 1
+
+    @staticmethod
+    def _reinsert(
+        keys: np.ndarray,
+        nodes: np.ndarray,
+        node_key: np.ndarray,
+        changed: List[int],
+        new_keys: np.ndarray,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Move ``changed`` nodes to their ``new_keys`` positions.
+
+        Returns the updated ``(keys, nodes)`` arrays, or ``None`` when the
+        old entries cannot be located (caller re-sorts from scratch).
+        """
+        changed_arr = np.asarray(changed, dtype=np.int64)
+        old_keys = node_key[changed_arr]
+        pos = np.searchsorted(keys, old_keys)
+        # Keys are unique, so each position is exact; guard regardless.
+        if pos.max(initial=-1) >= len(nodes) or not np.array_equal(
+            nodes[pos], changed_arr
+        ):
+            return None
+        keys = np.delete(keys, pos)
+        nodes = np.delete(nodes, pos)
+        # np.insert places same-position values in argument order, so the
+        # new entries must arrive key-ascending to keep the array sorted.
+        by_key = np.argsort(new_keys, kind="stable")
+        new_keys = new_keys[by_key]
+        changed_arr = changed_arr[by_key]
+        ins = np.searchsorted(keys, new_keys)
+        return np.insert(keys, ins, new_keys), np.insert(nodes, ins, changed_arr)
+
+    def _repair(self, dirty: List[int]) -> None:
+        free = self.cluster.free_local()
+        n = self.cluster.n_nodes
+        sign = -1 if self.descending else 1
+        changed = sorted(set(dirty))
+        new_keys = np.asarray(
+            [sign * int(free[c]) * n + c for c in changed], dtype=np.int64
+        )
+        repaired = self._reinsert(
+            self._keys, self._nodes, self._node_key, changed, new_keys
+        )
+        if repaired is None:
+            self._rebuild()
+            return
+        self._keys, self._nodes = repaired
+        self._node_key[changed] = new_keys
+        self.repairs += 1
+
+    def nodes_with_overrides(self, free_override: Dict[int, int]) -> np.ndarray:
+        """Index order with some nodes' free values overridden.
+
+        Used by :meth:`MemoryPool.split_borrow`, where the job's planned
+        local allocations are subtracted from the lendable pool before
+        ordering.  The synced index is repaired on a *copy* — the live
+        index never sees the overrides.
+        """
+        self.nodes_in_order()
+        if not free_override:
+            return self._nodes
+        n = self.cluster.n_nodes
+        sign = -1 if self.descending else 1
+        changed = sorted(free_override)
+        new_keys = np.asarray(
+            [sign * int(free_override[c]) * n + c for c in changed],
+            dtype=np.int64,
+        )
+        repaired = self._reinsert(
+            self._keys, self._nodes, self._node_key, changed, new_keys
+        )
+        if repaired is not None:
+            return repaired[1]
+        free = np.asarray(self.cluster.free_local()).copy()
+        for node, value in free_override.items():
+            free[node] = value
+        return np.argsort(self._key_of(free), kind="stable")
+
+    def nodes_in_order(self) -> np.ndarray:
+        """Node ids in index order, synchronised with the cluster."""
+        gen = self.cluster.generation
+        if self._gen == gen and self._nodes is not None:
+            return self._nodes
+        if self._nodes is None:
+            self._rebuild()
+        else:
+            dirty = self.cluster.free_changes_since(self._gen)
+            if dirty is None:
+                self._rebuild()
+            else:
+                distinct = set(dirty)
+                if len(distinct) > REPAIR_LIMIT:
+                    self._rebuild()
+                elif distinct:
+                    self._repair(list(distinct))
+        self._gen = gen
+        return self._nodes
+
+    def check_consistent(self) -> None:
+        """Raise ``AssertionError`` if the synced index mismatches a fresh sort."""
+        got = self.nodes_in_order()
+        keys = self._key_of(np.asarray(self.cluster.free_local()))
+        want = np.argsort(keys, kind="stable")
+        assert np.array_equal(got, want), (
+            f"sorted-free index out of sync: {got[:16]}... != {want[:16]}..."
+        )
+
 
 class MemoryPool:
     """Chooses lender nodes for remote-memory borrowing."""
@@ -33,9 +188,18 @@ class MemoryPool:
         self.cluster = cluster
         self.strategy = strategy
         self._rr_cursor = 0
+        #: shared sorted views of the free ledger (also used by the
+        #: static policy's node selection)
+        self.free_index = SortedFreeIndex(cluster, descending=True)
+        self.bestfit_index = SortedFreeIndex(cluster, descending=False)
 
     def _order(self, free: np.ndarray, near: Optional[int]) -> np.ndarray:
-        """Lender visiting order for one request."""
+        """Lender visiting order for one request (full per-request sort).
+
+        Kept as the brute-force reference: the most-free path now reads
+        :attr:`free_index` instead (see :meth:`_most_free_order`), and the
+        parity tests patch this method back in to prove byte-identity.
+        """
         if self.strategy == NEAREST and near is not None:
             hops = self.cluster.distance_row(near)
             # Nearest first; most-free breaks distance ties.
@@ -47,11 +211,23 @@ class MemoryPool:
             return order
         return np.argsort(-free, kind="stable")
 
+    def _most_free_order(self, near: Optional[int]) -> np.ndarray:
+        """Lender order against the *live* cluster ledger.
+
+        For the most-free strategy this is the maintained index (excluded
+        or exhausted nodes are skipped by the callers, which preserves
+        the relative order the full sort would produce).  The nearest and
+        round-robin strategies keep their per-request orderings.
+        """
+        if self.strategy == MOST_FREE:
+            return self.free_index.nodes_in_order()
+        return self._order(np.asarray(self.cluster.free_local()), near)
+
     # ------------------------------------------------------------------
     def available_mb(self, exclude: Iterable[int] = ()) -> int:
         """Total borrowable memory outside the excluded nodes."""
         free = self.cluster.free_local()
-        total = int(free.sum())
+        total = self.cluster.free_local_total
         for node in exclude:
             total -= int(free[node])
         return total
@@ -73,20 +249,25 @@ class MemoryPool:
             raise ValueError(f"negative borrow amount {amount_mb}")
         if amount_mb == 0:
             return []
-        free = self.cluster.free_local().copy()
-        if len(exclude):
-            free[np.asarray(list(exclude), dtype=np.int64)] = 0
-        if int(free.sum()) < amount_mb:
+        free = self.cluster.free_local()
+        excluded = {int(node) for node in exclude}
+        lendable = self.cluster.free_local_total - sum(
+            int(free[node]) for node in excluded
+        )
+        if lendable < amount_mb:
             return None
-        order = self._order(free, near)
+        order = self._most_free_order(near)
         plan: List[Tuple[int, int]] = []
         remaining = amount_mb
         for node in order:
+            node = int(node)
+            if node in excluded:
+                continue
             avail = int(free[node])
             if avail <= 0:
                 continue
             take = min(avail, remaining)
-            plan.append((int(node), take))
+            plan.append((node, take))
             remaining -= take
             if remaining == 0:
                 return plan
@@ -110,7 +291,7 @@ class MemoryPool:
         demand cannot be met.  Plans are carved from one shared pass so
         the same free MB is never promised twice.
         """
-        free = self.cluster.free_local().copy()
+        free = np.asarray(self.cluster.free_local()).copy()
         if reduce_free:
             for node, mb in reduce_free.items():
                 free[node] -= mb
@@ -118,7 +299,12 @@ class MemoryPool:
             return None
         if self.strategy == NEAREST:
             return self._split_borrow_nearest(per_node_mb, free)
-        order = self._order(free, None)
+        if self.strategy == MOST_FREE:
+            order = self.free_index.nodes_with_overrides(
+                {node: int(free[node]) for node in (reduce_free or {})}
+            )
+        else:
+            order = self._order(free, None)
         result: Dict[int, List[Tuple[int, int]]] = {}
         ptr = 0
         for node, need in per_node_mb.items():

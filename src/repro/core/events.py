@@ -45,13 +45,23 @@ class Event:
         return (self.time, int(self.kind), self.seq)
 
 
+#: Below this heap size compaction is pointless (the scan costs more than
+#: the dead entries' memory).
+_COMPACT_MIN = 64
+
+
 @dataclass
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects.
 
     Events may be *cancelled* lazily: :meth:`cancel` marks the sequence
     number dead and :meth:`pop` skips dead entries.  This is how finish
-    events are rescheduled when a job's slowdown changes.
+    events are rescheduled when a job's slowdown changes.  Heavy
+    repricing can cancel far more events than are ever popped, so when
+    dead entries outnumber live ones the heap is *compacted*: dead
+    entries are filtered out and the survivors re-heapified.  Keys are
+    unique ``(time, kind, seq)`` triples, so compaction cannot change
+    the pop order.
     """
 
     _heap: list[tuple[float, int, int, Event]] = field(default_factory=list)
@@ -74,6 +84,17 @@ class EventQueue:
         if ev.seq not in self._dead:
             self._dead.add(ev.seq)
             self._live -= 1
+            if (
+                len(self._heap) >= _COMPACT_MIN
+                and len(self._dead) * 2 > len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        self._heap = [e for e in self._heap if e[2] not in self._dead]
+        self._dead.clear()
+        heapq.heapify(self._heap)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""

@@ -120,13 +120,13 @@ class Telemetry:
         """Record the gauge set and append one time-series row block."""
         reg = self.registry
         c = controller.cluster
-        reg.set_gauge("pool_free_local_mb", int(c.free_local().sum()), now)
-        reg.set_gauge("pool_lent_mb", int(c.lent_mb.sum()), now)
-        reg.set_gauge("pool_local_used_mb", int(c.local_used_mb.sum()), now)
+        reg.set_gauge("pool_free_local_mb", c.free_local_total, now)
+        reg.set_gauge("pool_lent_mb", c.lent_total, now)
+        reg.set_gauge("pool_local_used_mb", c.local_used_total, now)
         reg.set_gauge("queue_depth", len(controller.pending), now)
         reg.set_gauge("running_jobs", len(controller.running), now)
-        reg.set_gauge("memory_node_count", int(c.is_memory_node().sum()), now)
-        reg.set_gauge("busy_nodes", int(c.busy.sum()), now)
+        reg.set_gauge("memory_node_count", c.memory_node_count, now)
+        reg.set_gauge("busy_nodes", c.busy_count, now)
         reg.sample(now)
 
     # ------------------------------------------------------------------

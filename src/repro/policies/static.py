@@ -48,24 +48,29 @@ class StaticDisaggregatedPolicy(AllocationPolicy):
     def plan(self, job: Job) -> Optional[JobAllocation]:
         c = self.cluster
         request = self._request_of(job)
-        startable = np.flatnonzero(c.startable())
-        if len(startable) < job.n_nodes:
+        if c.startable_count < job.n_nodes:
             return None
-        free = c.free_local()[startable]
-        fits = free >= request
-        if int(fits.sum()) >= job.n_nodes:
+        free_all = c.free_local()
+        startable = c.startable()
+        # Both branches read the pool's maintained sorted-free indexes
+        # instead of argsort-ing per pending job; filtering the index by
+        # the startable mask preserves the relative order a subset sort
+        # would produce (both are (free, node id)-keyed).
+        sel = self.pool.bestfit_index.nodes_in_order()
+        sel = sel[startable[sel]]
+        # Nodes that can serve the request locally form a suffix of the
+        # ascending-free order.
+        first_fit = int(np.searchsorted(free_all[sel], request))
+        if len(sel) - first_fit >= job.n_nodes:
             # Enough nodes can serve the request locally: best-fit among
             # them (least free first) to preserve big free blocks.
-            cand = startable[fits]
-            order = np.argsort(free[fits], kind="stable")
-            chosen = cand[order[: job.n_nodes]]
+            chosen = sel[first_fit : first_fit + job.n_nodes]
         else:
             # Choose the nodes with the most free memory and borrow the
             # remainder from the pool.
-            order = np.argsort(-free, kind="stable")
-            chosen = startable[order[: job.n_nodes]]
+            most_free = self.pool.free_index.nodes_in_order()
+            chosen = most_free[startable[most_free]][: job.n_nodes]
         alloc = JobAllocation(nodes=[int(n) for n in chosen])
-        free_all = c.free_local()
         deficits = {}
         for n in alloc.nodes:
             local = min(int(free_all[n]), request)

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
-
 from ..cluster.cluster import Cluster
 from ..jobs.job import Job
 from ..obs.profiling import perf_section
@@ -53,11 +51,11 @@ def shadow_time(
     """
     with perf_section("backfill.shadow_time"):
         c = cluster
-        free_nodes = int((~c.busy).sum())
-        free_mem = int(c.free_local().sum())
-        # Idle capacity per node, for the baseline's per-class fit test.
-        idle_caps = np.sort(c.capacity_mb[~c.busy])[::-1]
-        fitting_idle = int((idle_caps >= blocked.mem_request_mb).sum())
+        free_nodes = c.n_idle()
+        free_mem = c.free_local_total
+        # Idle nodes whose capacity class fits, for the baseline policy
+        # (O(1) from the cluster's per-class idle tallies).
+        fitting_idle = c.fitting_idle_count(blocked.mem_request_mb)
 
         def feasible(nodes: int, mem: int, fitting: int) -> bool:
             if disaggregated:

@@ -12,6 +12,7 @@ affected finish events (jobs advance in work seconds; wall duration is
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Optional, Set
 
 from ..cluster.allocation import JobAllocation
@@ -34,6 +35,25 @@ from .queue import PendingQueue
 #: Relative slowdown change below which finish events are not rescheduled.
 _REPRICE_EPS = 1e-9
 
+#: Relative tolerance treating a float time as "on" a cadence multiple.
+_TICK_EPS = 1e-9
+
+
+def next_tick(now: float, interval: float) -> float:
+    """First cadence multiple at or after ``now``, float-noise tolerant.
+
+    ``now % interval == 0`` misclassifies times like ``300.0000000001``
+    (an accumulated-float sched pass lands a hair after the multiple and
+    the naive ceil would skip a whole interval).  Times within
+    ``_TICK_EPS`` (relative) of a multiple snap to it; the result is
+    clamped to never schedule into the past.
+    """
+    k = math.floor(now / interval + _TICK_EPS)
+    t = k * interval
+    if t + _TICK_EPS * interval < now:
+        t = (k + 1) * interval
+    return max(t, now)
+
 
 class Controller:
     """Central resource manager wired into an :class:`Engine`."""
@@ -53,6 +73,9 @@ class Controller:
         self.cluster = cluster
         self.policy = policy
         self.model = model
+        # Maintain the model's per-lender demand ledger against this
+        # cluster (invalidated by the cluster's borrow/resize mutators).
+        model.attach(cluster)
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # The policy reports Monitor/Decider/Actuator phase timings to
@@ -108,11 +131,10 @@ class Controller:
         dt = now - self._last_account
         if dt <= 0:
             return
-        busy = int(self.cluster.busy.sum())
-        self.result.node_busy_seconds += busy * dt
+        self.result.node_busy_seconds += self.cluster.busy_count * dt
         self.result.mem_allocated_mb_seconds += self.cluster.total_allocated_mb() * dt
         # Lent memory == remote memory in use (conservation invariant).
-        self.result.mem_remote_mb_seconds += int(self.cluster.lent_mb.sum()) * dt
+        self.result.mem_remote_mb_seconds += self.cluster.lent_total * dt
         self._last_account = now
 
     # ------------------------------------------------------------------
@@ -282,13 +304,12 @@ class Controller:
         """Cheap feasibility pre-checks, then the policy's planner."""
         c = self.cluster
         if self.policy.uses_disaggregation:
-            if int(c.startable().sum()) < job.n_nodes:
+            if c.startable_count < job.n_nodes:
                 return None
-            if job.n_nodes * job.mem_request_mb > int(c.free_local().sum()):
+            if job.n_nodes * job.mem_request_mb > c.free_local_total:
                 return None
         else:
-            fits = (~c.busy) & (c.capacity_mb >= job.mem_request_mb)
-            if int(fits.sum()) < job.n_nodes:
+            if c.fitting_idle_count(job.mem_request_mb) < job.n_nodes:
                 return None
         return self.policy.plan(job)
 
@@ -420,9 +441,8 @@ class Controller:
     def _request_sched(self, now: float) -> None:
         if self._sched_scheduled:
             return
-        interval = self.config.sched_interval
-        t = now if now % interval == 0 else (int(now // interval) + 1) * interval
-        self.engine.at(t, EventKind.SCHED_PASS, None)
+        self.engine.at(next_tick(now, self.config.sched_interval),
+                       EventKind.SCHED_PASS, None)
         self._sched_scheduled = True
 
     def _schedule_mem_update(self, now: float) -> None:

@@ -58,6 +58,43 @@ class ContentionModel:
         self.profiles = list(profiles)
         self.node_bw_gbps = node_bw_gbps
         self.distance_penalty = distance_penalty
+        #: incremental per-lender demand ledger (see :meth:`attach`)
+        self._demand_cluster: Optional[Cluster] = None
+        self._demand_cache: Dict[int, float] = {}
+        #: diagnostics: ledger effectiveness within repricing batches
+        self.demand_hits = 0
+        self.demand_misses = 0
+
+    # ------------------------------------------------------------------
+    # Incremental lender-demand ledger
+    # ------------------------------------------------------------------
+    def attach(self, cluster: Cluster) -> None:
+        """Maintain a per-lender demand cache against ``cluster``.
+
+        The cluster's mutators report which lenders' borrow layouts (or
+        borrower totals — ``remote_fraction`` depends on a job's *total*
+        allocation, so local grow/shrink dirties its lenders too) changed;
+        those entries are invalidated and recomputed lazily on the next
+        :meth:`lender_demand` read.  The recomputation runs the exact
+        brute-force expression over borrowers in ledger order, so cached
+        demands are bit-identical to the unledgered path.
+        """
+        if self._demand_cluster is cluster:
+            return
+        self.detach()
+        self._demand_cluster = cluster
+        cluster.add_demand_listener(self._on_demand_change)
+
+    def detach(self) -> None:
+        """Stop maintaining the demand ledger (drops the cache)."""
+        if self._demand_cluster is not None:
+            self._demand_cluster.remove_demand_listener(self._on_demand_change)
+        self._demand_cluster = None
+        self._demand_cache.clear()
+
+    def _on_demand_change(self, cluster: Cluster, lenders: Sequence[int]) -> None:
+        for lender in lenders:
+            self._demand_cache.pop(lender, None)
 
     # ------------------------------------------------------------------
     def _distance_factor(self, cluster: Cluster, alloc: JobAllocation) -> float:
@@ -93,7 +130,26 @@ class ContentionModel:
     def lender_demand(
         self, cluster: Cluster, jobs: Dict[int, Job], lender: int
     ) -> float:
-        """Aggregate remote-traffic demand (GB/s) on one lender node."""
+        """Aggregate remote-traffic demand (GB/s) on one lender node.
+
+        Served from the incremental ledger when :meth:`attach` bound this
+        model to ``cluster``; otherwise recomputed from all borrowers.
+        """
+        if cluster is self._demand_cluster:
+            cached = self._demand_cache.get(lender)
+            if cached is not None:
+                self.demand_hits += 1
+                return cached
+            demand = self._lender_demand_brute(cluster, jobs, lender)
+            self._demand_cache[lender] = demand
+            self.demand_misses += 1
+            return demand
+        return self._lender_demand_brute(cluster, jobs, lender)
+
+    def _lender_demand_brute(
+        self, cluster: Cluster, jobs: Dict[int, Job], lender: int
+    ) -> float:
+        """Uncached reference recomputation (parity tests compare against it)."""
         demand = 0.0
         for jid, mb in cluster.borrowers_of(lender).items():
             job = jobs.get(jid)
@@ -174,6 +230,9 @@ class NullContentionModel(ContentionModel):
 
     def __init__(self) -> None:  # no profiles needed
         super().__init__(profiles=[], node_bw_gbps=1.0)
+
+    def attach(self, cluster) -> None:
+        """No ledger to maintain (demand is never read)."""
 
     def slowdown(self, job, cluster, jobs, osub_cache=None) -> float:
         return 1.0

@@ -76,3 +76,25 @@ def test_drain_yields_in_order():
     for t in (3.0, 1.0, 2.0):
         q.push(t, EventKind.SAMPLE, t)
     assert [e.payload for e in q.drain()] == [1.0, 2.0, 3.0]
+
+
+def test_heap_stays_bounded_under_repeated_reschedule():
+    """Cancel-heavy workloads (repricing) must not grow the heap without
+    bound: tombstones are compacted once they outnumber live entries."""
+    q = EventQueue()
+    ev = q.push(1.0, EventKind.JOB_FINISH, "job")
+    for i in range(10_000):
+        q.cancel(ev)
+        ev = q.push(float(i + 2), EventKind.JOB_FINISH, "job")
+    assert len(q) == 1
+    assert len(q._heap) <= 2 * max(len(q), 64)
+    assert q.pop().payload == "job"
+    assert q.pop() is None
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    events = [q.push(float(t), EventKind.JOB_FINISH, t) for t in range(200)]
+    for ev in events[::2]:
+        q.cancel(ev)  # triggers compaction part-way through
+    assert [e.payload for e in q.drain()] == list(range(1, 200, 2))

@@ -1,0 +1,296 @@
+"""Parity tests for the incremental ledgers and allocation indexes.
+
+The simulator's hot paths read maintained state — cluster scalar
+aggregates, the sorted-free node indexes, the contention model's
+per-lender demand ledger — instead of recomputing from the full ledgers
+per event.  These tests drive random operation sequences and whole
+campaigns through both the incremental and the brute-force paths and
+assert they agree exactly (bit-identical floats, identical plans,
+byte-identical campaign records).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.memorypool import MemoryPool, SortedFreeIndex
+from repro.core.config import SystemConfig
+from repro.core.errors import AllocationError
+from repro.jobs.job import Job
+from repro.jobs.usage import UsageTrace
+from repro.policies.static import StaticDisaggregatedPolicy
+from repro.slowdown.model import ContentionModel
+from repro.slowdown.profiles import AppProfile
+
+N_NODES = 8
+
+
+def _cluster() -> Cluster:
+    return Cluster(
+        SystemConfig(n_nodes=N_NODES, normal_mem_gb=64, large_mem_gb=128,
+                     frac_large_nodes=0.25)
+    )
+
+
+def _profile() -> AppProfile:
+    return AppProfile(name="test", bw_demand_gbps=8.0, remote_sensitivity=0.4,
+                      contention_sensitivity=0.5, read_write_ratio=3.0,
+                      typical_nodes=4, typical_runtime=1000.0)
+
+
+def _job(jid: int, n_nodes: int = 1) -> Job:
+    return Job(jid=jid, submit_time=0.0, n_nodes=n_nodes, base_runtime=100.0,
+               walltime_limit=200.0, mem_request_mb=1024,
+               usage=UsageTrace.constant(1024))
+
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["apply", "apply_remote", "release", "grow_l",
+                         "shrink_l", "add_r", "rem_r"]),
+        st.integers(0, 5),       # job id
+        st.integers(0, N_NODES - 1),  # node selector
+        st.integers(1, 40000),   # MB amount
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def _drive(cluster: Cluster, ops) -> None:
+    """Apply one random op stream, ignoring rejected operations."""
+    for op, jid, node, mb in ops:
+        lender = (node + 1) % N_NODES
+        try:
+            if op == "apply":
+                cluster.apply(jid, JobAllocation(nodes=[node],
+                                                 local_mb={node: mb}))
+            elif op == "apply_remote":
+                cluster.apply(jid, JobAllocation(
+                    nodes=[node], local_mb={node: min(mb, 1024)},
+                    remote_mb={node: {lender: mb}},
+                ))
+            elif op == "release":
+                cluster.release(jid)
+            elif op == "grow_l":
+                cluster.grow_local(jid, node, mb)
+            elif op == "shrink_l":
+                cluster.shrink_local(jid, node, mb)
+            elif op == "add_r":
+                cluster.add_remote(jid, node, lender, mb)
+            elif op == "rem_r":
+                cluster.remove_remote(jid, node, lender, mb)
+        except AllocationError:
+            pass  # rejected ops must leave state untouched
+
+
+# ----------------------------------------------------------------------
+# Aggregates and sorted-free indexes under random op streams
+# ----------------------------------------------------------------------
+@given(ops=op_strategy)
+@settings(max_examples=60, deadline=None)
+def test_aggregates_and_indexes_track_brute_force(ops):
+    cluster = _cluster()
+    pool = MemoryPool(cluster)
+    for op_chunk in ops:
+        _drive(cluster, [op_chunk])
+        # check_invariants cross-checks every scalar aggregate, the
+        # maintained free vector, and the sealed allocation caches.
+        cluster.check_invariants()
+        brute = cluster.recompute_aggregates()
+        for name, want in brute.items():
+            assert getattr(cluster, name) == want
+        assert cluster.free_local_total == int(
+            np.asarray(cluster.free_local()).sum()
+        )
+        assert cluster.allocated_total == cluster.total_allocated_mb()
+        # Both index orders must equal a fresh stable argsort after the
+        # lazy sync (exercises the repair and the rebuild paths).
+        pool.free_index.check_consistent()
+        pool.bestfit_index.check_consistent()
+    for mb in (512, 100_000):
+        assert cluster.fitting_idle_count(mb) == int(
+            ((~cluster.busy) & (cluster.capacity_mb >= mb)).sum()
+        )
+
+
+@given(ops=op_strategy, request_mb=st.integers(1, 200_000),
+       exclude=st.sets(st.integers(0, N_NODES - 1), max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_plan_borrow_matches_unindexed_plan(ops, request_mb, exclude):
+    """plan_borrow through the index == the original zero-and-argsort plan."""
+    cluster = _cluster()
+    pool = MemoryPool(cluster)
+    _drive(cluster, ops)
+    got = pool.plan_borrow(request_mb, exclude=tuple(exclude))
+    free = np.asarray(cluster.free_local()).copy()
+    if exclude:
+        free[np.asarray(sorted(exclude), dtype=np.int64)] = 0
+    if int(free.sum()) < request_mb:
+        assert got is None
+        return
+    order = np.argsort(-free, kind="stable")
+    want, remaining = [], request_mb
+    for node in order:
+        avail = int(free[node])
+        if avail <= 0:
+            continue
+        take = min(avail, remaining)
+        want.append((int(node), take))
+        remaining -= take
+        if remaining == 0:
+            break
+    assert got == want
+
+
+@given(ops=op_strategy, request_mb=st.integers(1, 140_000),
+       n_nodes=st.integers(1, N_NODES))
+@settings(max_examples=40, deadline=None)
+def test_static_plan_matches_unindexed_selection(ops, request_mb, n_nodes):
+    """The static policy's index-backed node choice == the per-job sorts."""
+    cluster = _cluster()
+    policy = StaticDisaggregatedPolicy(cluster)
+    _drive(cluster, ops)
+    job = _job(99, n_nodes=n_nodes)
+    job.mem_request_mb = request_mb
+    got = policy.plan(job)
+    # Reference: the original subset-argsort selection.
+    startable = np.flatnonzero(cluster.startable())
+    if len(startable) < n_nodes:
+        assert got is None
+        return
+    free = np.asarray(cluster.free_local())[startable]
+    fits = free >= request_mb
+    if int(fits.sum()) >= n_nodes:
+        cand = startable[fits]
+        chosen = cand[np.argsort(free[fits], kind="stable")[:n_nodes]]
+    else:
+        chosen = startable[np.argsort(-free, kind="stable")[:n_nodes]]
+    if got is not None:
+        assert got.nodes == [int(n) for n in chosen]
+
+
+# ----------------------------------------------------------------------
+# SortedFreeIndex repair micro-behaviour
+# ----------------------------------------------------------------------
+def test_index_repairs_small_deltas_without_rebuilding():
+    cluster = _cluster()
+    idx = SortedFreeIndex(cluster, descending=True)
+    idx.nodes_in_order()
+    assert idx.rebuilds == 1
+    cluster.apply(0, JobAllocation(nodes=[3], local_mb={3: 4096}))
+    idx.check_consistent()
+    assert idx.rebuilds == 1 and idx.repairs == 1
+
+
+def test_index_rebuilds_when_delta_log_is_lost():
+    cluster = _cluster()
+    idx = SortedFreeIndex(cluster, descending=True)
+    idx.nodes_in_order()
+    for jid in range(4):
+        cluster.apply(jid, JobAllocation(nodes=[jid], local_mb={jid: 1024}))
+    cluster._free_log_base = cluster.generation  # simulate log loss
+    cluster._free_log.clear()
+    idx.check_consistent()
+    assert idx.rebuilds == 2
+
+
+def test_overrides_do_not_touch_the_live_index():
+    cluster = _cluster()
+    pool = MemoryPool(cluster)
+    live_before = pool.free_index.nodes_in_order().copy()
+    overridden = pool.free_index.nodes_with_overrides({0: 1})
+    free = np.asarray(cluster.free_local()).copy()
+    free[0] = 1
+    n = cluster.n_nodes
+    want = np.argsort(-free * n + np.arange(n), kind="stable")
+    assert np.array_equal(overridden, want)
+    assert np.array_equal(pool.free_index.nodes_in_order(), live_before)
+
+
+# ----------------------------------------------------------------------
+# Lender-demand ledger vs brute recomputation
+# ----------------------------------------------------------------------
+@given(ops=op_strategy)
+@settings(max_examples=40, deadline=None)
+def test_demand_ledger_bit_identical_to_brute_force(ops):
+    cluster = _cluster()
+    model = ContentionModel(profiles=[_profile()])
+    model.attach(cluster)
+    jobs = {jid: _job(jid) for jid in range(6)}
+    for op_chunk in ops:
+        _drive(cluster, [op_chunk])
+        for lender in range(N_NODES):
+            cached = model.lender_demand(cluster, jobs, lender)
+            brute = model._lender_demand_brute(cluster, jobs, lender)
+            # Bit-identical, not approximately equal: the ledger must
+            # not perturb campaign records.
+            assert cached == brute
+    assert model.demand_hits + model.demand_misses > 0
+
+
+def test_demand_ledger_invalidated_by_local_resize():
+    """grow/shrink_local changes remote_fraction, so lenders go dirty."""
+    cluster = _cluster()
+    model = ContentionModel(profiles=[_profile()])
+    model.attach(cluster)
+    jobs = {0: _job(0)}
+    cluster.apply(0, JobAllocation(nodes=[0], local_mb={0: 1024},
+                                   remote_mb={0: {2: 2048}}))
+    before = model.lender_demand(cluster, jobs, 2)
+    cluster.grow_local(0, 0, 4096)
+    after = model.lender_demand(cluster, jobs, 2)
+    assert after == model._lender_demand_brute(cluster, jobs, 2)
+    assert after < before  # more local memory -> lower remote fraction
+
+
+def test_detach_stops_ledger_maintenance():
+    cluster = _cluster()
+    model = ContentionModel(profiles=[_profile()])
+    model.attach(cluster)
+    model.detach()
+    assert not cluster._demand_listeners
+    assert model._demand_cache == {}
+
+
+# ----------------------------------------------------------------------
+# Whole-campaign byte-identity: incremental vs brute-forced paths
+# ----------------------------------------------------------------------
+def _campaign_records(tmp_path, monkeypatch, brute: bool):
+    from repro.experiments import runner
+    from repro.experiments.campaign import fig5_scenarios, run_campaign
+    from repro.experiments.scenarios import SCALES
+
+    if brute:
+        # Force every index sync to a fresh argsort and every demand
+        # read to full recomputation: the pre-optimisation behaviour.
+        monkeypatch.setattr(SortedFreeIndex, "_reinsert",
+                            staticmethod(lambda *a, **k: None))
+        monkeypatch.setattr(Cluster, "free_changes_since",
+                            lambda self, generation: None)
+        monkeypatch.setattr(ContentionModel, "attach",
+                            lambda self, cluster: None)
+    runner.clear_caches()
+    grid = fig5_scenarios(scale=SCALES["small"], mixes=(0.25,),
+                          memory_levels=(50,), overestimations=(0.0,))
+    out = tmp_path / ("brute.jsonl" if brute else "fast.jsonl")
+    run_campaign(grid, out, workers=1)
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    for rec in records:
+        rec.pop("elapsed_s", None)  # wall clock legitimately differs
+    return records
+
+
+@pytest.mark.slow
+def test_campaign_records_byte_identical_to_brute_path(tmp_path, monkeypatch):
+    fast = _campaign_records(tmp_path, monkeypatch, brute=False)
+    with monkeypatch.context() as mp:
+        brute = _campaign_records(tmp_path, mp, brute=True)
+    assert json.dumps(fast, sort_keys=True) == json.dumps(brute, sort_keys=True)

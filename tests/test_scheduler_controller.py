@@ -150,3 +150,40 @@ def test_deterministic_results(config):
     assert [rec.finish_time for rec in r1.records] == [
         rec.finish_time for rec in r2.records
     ]
+
+
+# ----------------------------------------------------------------------
+# Sched-cadence tick computation (float-noise tolerant)
+# ----------------------------------------------------------------------
+def test_next_tick_exact_multiple_fires_immediately():
+    from repro.scheduler.controller import next_tick
+    assert next_tick(300.0, 300.0) == 300.0
+    assert next_tick(0.0, 30.0) == 0.0
+
+
+def test_next_tick_rounds_up_between_multiples():
+    from repro.scheduler.controller import next_tick
+    assert next_tick(310.0, 30.0) == 330.0
+    assert next_tick(0.5, 30.0) == 30.0
+
+
+def test_next_tick_tolerates_float_noise_above_a_multiple():
+    """A time like 300.0000000001 (accumulated float error) must fire
+    now-ish, not be pushed a whole interval to 600."""
+    from repro.scheduler.controller import next_tick
+    noisy = 300.0000000001
+    t = next_tick(noisy, 300.0)
+    assert noisy <= t < 301.0
+
+
+def test_next_tick_tolerates_float_noise_below_a_multiple():
+    from repro.scheduler.controller import next_tick
+    noisy = 299.99999999999994
+    t = next_tick(noisy, 300.0)
+    assert noisy <= t <= 300.0
+
+
+def test_next_tick_never_schedules_into_the_past():
+    from repro.scheduler.controller import next_tick
+    for now in (0.0, 1e-12, 29.999999, 30.000001, 12345.6789):
+        assert next_tick(now, 30.0) >= now
