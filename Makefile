@@ -1,24 +1,36 @@
 # Convenience targets mirroring what CI runs.
 #
-#   make lint   — custom simulation-correctness linter + ruff (if installed)
-#   make test   — tier-1 test suite (includes the lint self-check)
-#   make check  — both
+#   make lint      — custom simulation-correctness linter (shallow + deep) + ruff
+#   make lint-deep — whole-program pass only (call graph + dataflow rules)
+#   make test      — tier-1 test suite (includes the lint self-check)
+#   make check     — both
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-json test check bench-parallel bench-obs obs-smoke bench-sim
+.PHONY: lint lint-deep lint-json lint-sarif test check \
+	bench-parallel bench-obs obs-smoke bench-sim bench-lint
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
+	$(PYTHON) -m repro.cli lint --deep src/repro
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
 		echo "ruff not installed; skipped generic lint (see pyproject.toml)"; \
 	fi
 
+# Whole-program flow analysis only (DET1xx/RACE0xx/INV1xx/UNIT1xx),
+# checked against the committed lint-baseline.json.
+lint-deep:
+	$(PYTHON) -m repro.cli lint --deep src/repro
+
 lint-json:
 	$(PYTHON) -m repro.cli lint --format json src/repro
+
+# SARIF for code-scanning upload; writes lint.sarif in the repo root.
+lint-sarif:
+	$(PYTHON) -m repro.cli lint --deep --format sarif --output lint.sarif src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,3 +54,8 @@ obs-smoke:
 # pre-optimisation baseline; writes benchmarks/output/BENCH_sim.json
 bench-sim:
 	$(PYTHON) benchmarks/bench_sim.py
+
+# Shallow vs deep lint wall clock + parse-cache stats; writes
+# benchmarks/output/BENCH_lint.json
+bench-lint:
+	$(PYTHON) benchmarks/bench_lint.py

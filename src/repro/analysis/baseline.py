@@ -1,0 +1,169 @@
+"""Checked-in finding baseline: intentional, justified suppressions.
+
+A baseline file (``lint-baseline.json``) lists findings that are known
+and accepted; ``repro lint`` subtracts them from its output so CI can
+enforce "no findings outside the baseline" while the accepted entries
+ride along visibly.  Every entry carries a written ``justification`` —
+loading rejects entries without one, so suppressions cannot be silent.
+
+Matching is on ``(rule, package-relative path, message substring)``
+rather than line numbers, so unrelated edits above a baselined finding
+do not invalidate it.  Entries that no longer match anything are
+reported as *stale* (the report shows them; they do not affect the
+exit code) so the file shrinks as code gets fixed.
+
+Schema::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "DET101", "path": "repro/x.py",
+         "contains": "<message substring, optional>",
+         "justification": "<why this is accepted>"},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Finding, LintError, _relativize
+
+__all__ = ["Baseline", "BaselineEntry", "discover_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    contains: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        # Relativize both sides so entries written with absolute paths
+        # (or from another checkout root) still match.
+        return (
+            finding.rule == self.rule
+            and _relativize(finding.path) == _relativize(self.path)
+            and self.contains in finding.message
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "contains": self.contains,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path}: expected version {BASELINE_VERSION}"
+            )
+        entries: List[BaselineEntry] = []
+        for i, raw in enumerate(data.get("entries", [])):
+            if not isinstance(raw, dict):
+                raise LintError(f"baseline {path}: entry {i} is not an object")
+            missing = {"rule", "path"} - set(raw)
+            if missing:
+                raise LintError(
+                    f"baseline {path}: entry {i} missing {sorted(missing)}"
+                )
+            if not str(raw.get("justification", "")).strip():
+                raise LintError(
+                    f"baseline {path}: entry {i} ({raw['rule']} at "
+                    f"{raw['path']}) has no justification — every accepted "
+                    "finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    contains=str(raw.get("contains", "")),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries=entries, source=str(path))
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """Split findings: (kept, suppressed count, stale entries)."""
+        kept: List[Finding] = []
+        used = [False] * len(self.entries)
+        suppressed = 0
+        for finding in findings:
+            hit = False
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used[i] = True
+                    hit = True
+            if hit:
+                suppressed += 1
+            else:
+                kept.append(finding)
+        stale = [e for e, u in zip(self.entries, used) if not u]
+        return kept, suppressed, stale
+
+
+def discover_baseline(paths: Sequence[str]) -> Optional[Path]:
+    """Find ``lint-baseline.json`` in an ancestor of the first lint path."""
+    if not paths:
+        return None
+    start = Path(paths[0]).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in [start] + list(start.parents):
+        baseline = candidate / BASELINE_FILENAME
+        if baseline.is_file():
+            return baseline
+    return None
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write a baseline accepting ``findings``; returns the entry count.
+
+    Deduplicates on (rule, path, message); the generated justifications
+    are placeholders that :meth:`Baseline.load` will reject until a real
+    reason is filled in — acceptance must be deliberate.
+    """
+    seen = set()
+    entries = []
+    for finding in findings:
+        key = (finding.rule, _relativize(finding.path), finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": _relativize(finding.path),
+                "contains": finding.message,
+                "justification": "",
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

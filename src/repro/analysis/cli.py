@@ -2,6 +2,12 @@
 
 ``repro lint`` / ``python -m repro.cli lint`` route here too, so CLI,
 pytest self-check, and CI all share one implementation.
+
+Exit codes (identical in shallow and deep modes):
+
+* ``0`` — clean (no findings outside the baseline)
+* ``1`` — findings
+* ``2`` — usage or internal error (unknown rule, bad path, bad baseline)
 """
 
 from __future__ import annotations
@@ -9,10 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from .baseline import Baseline, discover_baseline, write_baseline
 from .core import LintError, lint_paths, resolve_rules, rule_ids
 from .report import render_json, render_rules, render_text
+from .sarif import render_sarif
 
 __all__ = ["add_lint_arguments", "default_lint_paths", "main", "run_lint"]
 
@@ -29,12 +37,36 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: the repro package)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format",
     )
     parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--rule", action="append", metavar="ID", dest="rules",
-        help="run only this rule (repeatable); default: all rules",
+        help="run only this rule (repeatable); default: all rules "
+        "of the selected mode (deep rules are selectable without --deep)",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="additionally run the whole-program rule families "
+        "(DET1xx/RACE0xx/INV1xx/UNIT1xx) over the linked project",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of accepted findings "
+        "(default: lint-baseline.json discovered above the lint paths)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write current findings to FILE as a baseline skeleton "
+        "(justifications must be filled in by hand) and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -42,21 +74,61 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint invocation; returns the process exit code."""
     if args.list_rules:
         print(render_rules())
         return 0
+    deep = getattr(args, "deep", False)
+    output = getattr(args, "output", None)
     try:
-        rules = resolve_rules(args.rules)
-        findings = lint_paths(args.paths or default_lint_paths(), rules)
+        rules = resolve_rules(args.rules, deep=deep)
+        paths = [str(p) for p in (args.paths or default_lint_paths())]
+        findings = lint_paths(paths, rules, deep=deep)
+
+        if getattr(args, "write_baseline", None):
+            count = write_baseline(findings, Path(args.write_baseline))
+            print(
+                f"repro-lint: wrote {count} baseline entr"
+                f"{'y' if count == 1 else 'ies'} to {args.write_baseline}; "
+                "fill in each justification before committing",
+                file=sys.stderr,
+            )
+            return 0
+
+        baseline_info: Optional[Dict[str, object]] = None
+        if not getattr(args, "no_baseline", False):
+            baseline_path = (
+                Path(args.baseline)
+                if getattr(args, "baseline", None)
+                else discover_baseline(paths)
+            )
+            if baseline_path is not None:
+                baseline = Baseline.load(baseline_path)
+                findings, suppressed, stale = baseline.apply(findings)
+                baseline_info = {
+                    "source": str(baseline_path),
+                    "suppressed": suppressed,
+                    "stale": [e.to_dict() for e in stale],
+                }
     except LintError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+
+    mode = "deep" if deep else "shallow"
     if args.format == "json":
-        print(render_json(findings))
+        _emit(render_json(findings, mode=mode, baseline=baseline_info), output)
+    elif args.format == "sarif":
+        _emit(render_sarif(findings), output)
     else:
-        print(render_text(findings))
+        _emit(render_text(findings, baseline=baseline_info), output)
     return 1 if findings else 0
 
 
@@ -64,7 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST-based simulation-correctness linter "
-        f"(rules: {', '.join(rule_ids())})",
+        f"(file rules: {', '.join(rule_ids())}; "
+        f"deep rules: {', '.join(sorted(set(rule_ids(deep=True)) - set(rule_ids())))}). "
+        "Exit codes: 0 clean, 1 findings, 2 usage/internal error.",
     )
     add_lint_arguments(parser)
     return parser

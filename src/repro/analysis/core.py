@@ -7,6 +7,15 @@ conservation).  It is deliberately dependency-free: rules operate on
 :class:`ParsedModule` objects (source + ``ast`` tree + suppression map)
 and yield :class:`Finding` records.
 
+Two rule tiers share one registry:
+
+* **Shallow** rules (:class:`Rule`) inspect one file at a time and run
+  by default.
+* **Deep** rules (:class:`ProjectRule`, ``deep = True``) see the whole
+  set of linted files as a :class:`repro.analysis.graph.Project`
+  (imports, call graph, dataflow) and only run under ``--deep`` or when
+  selected explicitly by id.
+
 Suppression: append ``# repro: noqa[RULE]`` (comma-separated rule ids,
 or bare ``# repro: noqa`` for all rules) to the offending line.
 """
@@ -17,19 +26,34 @@ import ast
 import dataclasses
 import re
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 __all__ = [
     "Finding",
     "LintError",
     "ParsedModule",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "clear_parse_cache",
     "get_rule",
     "iter_python_files",
     "lint_module",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
+    "parse_cache_stats",
+    "parse_cached",
     "register",
     "resolve_rules",
     "rule_ids",
@@ -135,6 +159,48 @@ class ParsedModule:
         return rules is None or rule_id.upper() in rules
 
 
+# ----------------------------------------------------------------------
+# Parse cache
+# ----------------------------------------------------------------------
+# Shared between ``repro lint``, the pytest self-check, and the deep
+# pass: each file is read and ``ast.parse``d at most once per process
+# (per on-disk version — the key includes mtime and size).
+_PARSE_CACHE: Dict[str, Tuple[Tuple[int, int], ParsedModule]] = {}
+_PARSE_CACHE_LIMIT = 4096
+_PARSE_STATS = {"hits": 0, "misses": 0}
+
+
+def parse_cached(path: Path) -> ParsedModule:
+    """Parse ``path``, reusing the in-process cache when it is unchanged."""
+    key = str(path)
+    try:
+        stat = path.stat()
+        sig = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return ParsedModule.from_file(path)
+    hit = _PARSE_CACHE.get(key)
+    if hit is not None and hit[0] == sig:
+        _PARSE_STATS["hits"] += 1
+        return hit[1]
+    module = ParsedModule.from_file(path)  # may raise SyntaxError
+    _PARSE_STATS["misses"] += 1
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.pop(next(iter(_PARSE_CACHE)))
+    _PARSE_CACHE[key] = (sig, module)
+    return module
+
+
+def parse_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current size (for the lint benchmark)."""
+    return {**_PARSE_STATS, "size": len(_PARSE_CACHE)}
+
+
+def clear_parse_cache() -> None:
+    _PARSE_CACHE.clear()
+    _PARSE_STATS["hits"] = 0
+    _PARSE_STATS["misses"] = 0
+
+
 class Rule:
     """Base class for lint rules.
 
@@ -148,6 +214,8 @@ class Rule:
     id: str = ""
     title: str = ""
     severity: str = "error"
+    #: Deep (whole-program) rules run only under ``--deep``.
+    deep: bool = False
     #: Apply only to files whose relpath contains one of these fragments.
     scope: Optional[Tuple[str, ...]] = None
     #: Never apply to files whose relpath contains one of these fragments.
@@ -175,6 +243,25 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for deep (whole-program) rules.
+
+    Deep rules receive the full :class:`repro.analysis.graph.Project`
+    built from every linted file and implement :meth:`check_project`.
+    Per-module ``scope``/``exempt`` and ``# repro: noqa`` suppression
+    are still honoured, applied to each finding's source module.
+    """
+
+    deep = True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        # Deep rules only make sense with cross-module context.
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -194,12 +281,21 @@ def register(cls: type) -> type:
     return cls
 
 
-def all_rules() -> List[Rule]:
-    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+def all_rules(deep: bool = False) -> List[Rule]:
+    """Registered rules, sorted by id.
+
+    ``deep=False`` (the default) returns only the shallow per-file rules
+    — the historical behaviour; ``deep=True`` returns every rule.
+    """
+    return [
+        _REGISTRY[rid]
+        for rid in sorted(_REGISTRY)
+        if deep or not _REGISTRY[rid].deep
+    ]
 
 
-def rule_ids() -> List[str]:
-    return sorted(_REGISTRY)
+def rule_ids(deep: bool = False) -> List[str]:
+    return [r.id for r in all_rules(deep=deep)]
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -211,10 +307,18 @@ def get_rule(rule_id: str) -> Rule:
         ) from None
 
 
-def resolve_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Resolve ``--rule``-style selections to rule objects (all when empty)."""
+def resolve_rules(
+    selection: Optional[Sequence[str]] = None, deep: bool = False
+) -> List[Rule]:
+    """Resolve ``--rule``-style selections to rule objects.
+
+    With no selection, returns the default rule set for the mode
+    (shallow rules, plus the deep families when ``deep=True``).  An
+    explicit selection may name any registered rule — deep rules are
+    runnable individually without ``--deep``.
+    """
     if not selection:
-        return all_rules()
+        return all_rules(deep=deep)
     return [get_rule(rid) for rid in selection]
 
 
@@ -224,10 +328,14 @@ def resolve_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
 def lint_module(
     module: ParsedModule, rules: Optional[Sequence[Rule]] = None
 ) -> List[Finding]:
-    """Run ``rules`` (default: all registered) over one parsed module."""
+    """Run shallow ``rules`` (default: all registered) over one module.
+
+    Deep rules in ``rules`` are ignored here — they need a project; use
+    :func:`lint_paths`/:func:`lint_source` which route them properly.
+    """
     out: List[Finding] = []
     for rule in rules if rules is not None else all_rules():
-        if not rule.applies_to(module):
+        if rule.deep or not rule.applies_to(module):
             continue
         for finding in rule.check(module):
             if module.is_suppressed(rule.id, finding.line):
@@ -236,18 +344,76 @@ def lint_module(
     return sorted(out, key=Finding.sort_key)
 
 
+def _lint_project(
+    modules: Sequence[ParsedModule], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run deep rules over the project spanned by ``modules``."""
+    from .graph import Project  # deferred: graph imports this module
+
+    project = Project.from_modules(modules)
+    out: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            mod = project.module_for_path(finding.path)
+            if mod is not None:
+                if not rule.applies_to(mod):
+                    continue
+                if mod.is_suppressed(rule.id, finding.line):
+                    continue
+            out.append(finding)
+    return out
+
+
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[Rule]]:
+    shallow = [r for r in rules if not r.deep]
+    project = [r for r in rules if r.deep]
+    return shallow, project
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     relpath: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    deep: bool = False,
 ) -> List[Finding]:
     """Lint an in-memory snippet (test entry point).
 
     ``relpath`` poses as the package-relative path so path-scoped rules
-    can be exercised without writing files into the package tree.
+    can be exercised without writing files into the package tree.  Deep
+    rules (via ``deep=True`` or an explicit selection) see a
+    single-module project.
     """
-    return lint_module(ParsedModule(source, path=path, relpath=relpath), rules)
+    module = ParsedModule(source, path=path, relpath=relpath)
+    selected = rules if rules is not None else all_rules(deep=deep)
+    shallow, project_rules = _split_rules(selected)
+    out = lint_module(module, shallow)
+    if project_rules:
+        out.extend(_lint_project([module], project_rules))
+    return sorted(out, key=Finding.sort_key)
+
+
+def lint_project_sources(
+    sources: Mapping[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+    deep: bool = True,
+) -> List[Finding]:
+    """Lint a dict of ``{relpath: source}`` as one project (test helper).
+
+    Builds the cross-module project from all entries so deep rules can
+    resolve imports between them; findings carry the relpath as path.
+    """
+    modules = [
+        ParsedModule(src, path=rel, relpath=rel) for rel, src in sources.items()
+    ]
+    selected = rules if rules is not None else all_rules(deep=deep)
+    shallow, project_rules = _split_rules(selected)
+    out: List[Finding] = []
+    for module in modules:
+        out.extend(lint_module(module, shallow))
+    if project_rules:
+        out.extend(_lint_project(modules, project_rules))
+    return sorted(out, key=Finding.sort_key)
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -263,17 +429,25 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    deep: bool = False,
 ) -> List[Finding]:
     """Lint every Python file under ``paths``.
 
     Unparseable files surface as ``SYNTAX`` findings rather than
-    aborting the run, so one bad file cannot hide the rest.
+    aborting the run, so one bad file cannot hide the rest.  With
+    ``deep=True`` (or a rule selection containing deep rules) the
+    parseable files are additionally linked into a project and the
+    whole-program rule families run over it.
     """
+    selected = rules if rules is not None else all_rules(deep=deep)
+    shallow, project_rules = _split_rules(selected)
     out: List[Finding] = []
+    modules: List[ParsedModule] = []
     for path in iter_python_files(paths):
         try:
-            module = ParsedModule.from_file(path)
+            module = parse_cached(path)
         except SyntaxError as exc:
             out.append(
                 Finding(
@@ -286,5 +460,8 @@ def lint_paths(
                 )
             )
             continue
-        out.extend(lint_module(module, rules))
+        modules.append(module)
+        out.extend(lint_module(module, shallow))
+    if project_rules and modules:
+        out.extend(_lint_project(modules, project_rules))
     return sorted(out, key=Finding.sort_key)

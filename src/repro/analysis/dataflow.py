@@ -1,0 +1,440 @@
+"""Intraprocedural dataflow: a small taint lattice over function bodies.
+
+The engine runs an abstract interpretation of one function at a time.
+The abstract value of an expression is a set of *labels*:
+
+* ``unordered`` — the value is a container whose iteration order is not
+  deterministic across processes (``set``/``frozenset`` literals and
+  calls, ``os.environ``, ``concurrent.futures.as_completed``), or a
+  sequence materialised from one.
+* ``uelem`` — the value was derived from an element produced by
+  iterating an unordered container: its *position* in the iteration is
+  nondeterministic even though the value itself may be stable.
+* ``env`` — the value derives from ``os.environ``/``os.getenv``.
+* ``float`` — the value is float-typed (literals, true division,
+  ``float(...)``, calls whose resolved callee returns ``float``).
+
+Statements transfer an environment mapping local names to label sets;
+``if`` joins branches, loops run their body twice (enough for this
+lattice to stabilise: labels only accumulate).  Call boundaries are
+crossed via :class:`FloatSummaries`, a project-wide fixpoint over
+``-> float`` annotations and obvious float-returning bodies, with a
+bare-method-name table as fallback for unresolvable attribute calls.
+
+Everything unresolvable defaults to *no* taint: the rules built on top
+(see :mod:`repro.analysis.flowrules`) prefer missing a contrived case
+to flagging correct code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import FunctionInfo, ModuleInfo, Project, dotted
+
+__all__ = [
+    "ENV",
+    "FLOAT",
+    "UELEM",
+    "UNORDERED",
+    "FloatSummaries",
+    "TaintAnalysis",
+    "compute_float_summaries",
+]
+
+UNORDERED = "unordered"
+UELEM = "uelem"
+ENV = "env"
+FLOAT = "float"
+
+Labels = FrozenSet[str]
+EMPTY: Labels = frozenset()
+
+#: Call names (last dotted component) that yield unordered containers.
+_UNORDERED_CALLS = {"set", "frozenset", "as_completed"}
+#: Call names that strip iteration-order taint (deterministic order out).
+_ORDER_SANITIZERS = {"sorted"}
+#: Call names that certainly return floats.
+_FLOAT_CALLS = {
+    "float", "fsum", "sqrt", "log", "log2", "log10", "exp", "mean",
+    "std", "var", "quantile", "percentile", "float64", "trapz", "hypot",
+}
+#: Call names that certainly return ints (sanitise the float label).
+_INT_CALLS = {"int", "len", "floor", "ceil", "index", "ord", "count"}
+#: Container method calls that preserve the base's order taint.
+_ORDER_PRESERVING_METHODS = {"items", "keys", "values", "copy", "union",
+                             "intersection", "difference"}
+
+
+def _join(a: Dict[str, Labels], b: Dict[str, Labels]) -> Dict[str, Labels]:
+    out = dict(a)
+    for name, labels in b.items():
+        out[name] = out.get(name, EMPTY) | labels
+    return out
+
+
+def _elem_labels(iterable_labels: Labels) -> Labels:
+    """Labels for a loop target when iterating a value with these labels."""
+    out = set(iterable_labels) - {UNORDERED, FLOAT}
+    if UNORDERED in iterable_labels or UELEM in iterable_labels:
+        out.add(UELEM)
+    return frozenset(out)
+
+
+def _annotation_is(ann: Optional[ast.AST], names: Tuple[str, ...]) -> bool:
+    if ann is None:
+        return False
+    text = dotted(ann)
+    if text is None and isinstance(ann, ast.Subscript):
+        text = dotted(ann.value)
+    if text is None:
+        return False
+    last = text.rsplit(".", 1)[-1]
+    return last in names
+
+
+class FloatSummaries:
+    """Which project functions/methods return floats.
+
+    Seeded from ``-> float`` return annotations, then extended by a
+    short fixpoint over function bodies (a function returns float if
+    any ``return`` expression is float under the current summaries).
+    ``method_returns_float`` answers for a bare attribute call like
+    ``x.mean()``: True only when every project method with that name
+    returns float (so mixed tables stay silent).
+    """
+
+    def __init__(self) -> None:
+        self.float_returns: Set[str] = set()
+        self._method_table: Dict[str, bool] = {}
+
+    def returns_float(self, qname: str) -> bool:
+        return qname in self.float_returns
+
+    def method_returns_float(self, method_name: str) -> bool:
+        return self._method_table.get(method_name, False)
+
+
+def compute_float_summaries(project: Project, passes: int = 3) -> FloatSummaries:
+    summaries = FloatSummaries()
+    for fn in project.iter_functions():
+        if _annotation_is(getattr(fn.node, "returns", None), ("float", "float64")):
+            summaries.float_returns.add(fn.qname)
+    for _ in range(passes):
+        changed = False
+        for fn in project.iter_functions():
+            if fn.qname in summaries.float_returns:
+                continue
+            if _body_returns_float(project, fn, summaries):
+                summaries.float_returns.add(fn.qname)
+                changed = True
+        if not changed:
+            break
+    # Bare-name method table: every project method with this name must
+    # agree before an unresolved ``x.name()`` call is considered float.
+    by_name: Dict[str, List[FunctionInfo]] = {}
+    for fn in project.iter_functions():
+        if fn.cls is not None:
+            by_name.setdefault(fn.name, []).append(fn)
+    for name, fns in by_name.items():
+        summaries._method_table[name] = all(
+            f.qname in summaries.float_returns for f in fns
+        )
+    return summaries
+
+
+def _body_returns_float(
+    project: Project, fn: FunctionInfo, summaries: FloatSummaries
+) -> bool:
+    analysis = TaintAnalysis(project, fn, summaries)
+    analysis.run()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            env = analysis.env_before.get(id(node), {})
+            if FLOAT in analysis.taint_of(node.value, env):
+                return True
+    return False
+
+
+class TaintAnalysis:
+    """Abstract interpretation of one function body over the label lattice.
+
+    After :meth:`run`, ``env_before[id(stmt)]`` holds the environment in
+    force just before each statement, and :meth:`taint_of` evaluates any
+    expression under a given environment — rules walk the body
+    themselves and query both.
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        summaries: Optional[FloatSummaries] = None,
+    ) -> None:
+        self.project = project
+        self.fn = fn
+        self.mod: ModuleInfo = fn.module
+        self.summaries = summaries
+        self.local_types = project.local_types(self.mod, fn)
+        self.env_before: Dict[int, Dict[str, Labels]] = {}
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> "TaintAnalysis":
+        env = self._initial_env()
+        self._exec_block(getattr(self.fn.node, "body", []), env)
+        return self
+
+    def _initial_env(self) -> Dict[str, Labels]:
+        env: Dict[str, Labels] = {}
+        args = self.fn.node.args
+        for arg in list(args.args) + list(args.kwonlyargs):
+            labels: Set[str] = set()
+            if _annotation_is(arg.annotation, ("float", "float64")):
+                labels.add(FLOAT)
+            if _annotation_is(arg.annotation, ("Set", "FrozenSet", "set", "frozenset", "AbstractSet")):
+                labels.add(UNORDERED)
+            env[arg.arg] = frozenset(labels)
+        return env
+
+    def _exec_block(
+        self, body: Sequence[ast.stmt], env: Dict[str, Labels]
+    ) -> Dict[str, Labels]:
+        for stmt in body:
+            env = self._exec_stmt(stmt, env)
+        return env
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: Dict[str, Labels]
+    ) -> Dict[str, Labels]:
+        self.env_before[id(stmt)] = dict(env)
+        if isinstance(stmt, ast.Assign):
+            labels = self.taint_of(stmt.value, env)
+            env = dict(env)
+            for target in stmt.targets:
+                self._bind_target(target, labels, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            env = dict(env)
+            labels = (
+                self.taint_of(stmt.value, env) if stmt.value is not None else EMPTY
+            )
+            if _annotation_is(stmt.annotation, ("float", "float64")):
+                labels = labels | {FLOAT}
+            elif _annotation_is(stmt.annotation, ("int",)):
+                labels = labels - {FLOAT}
+            self._bind_target(stmt.target, labels, env)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self.taint_of(stmt.value, env)
+            if isinstance(stmt.op, ast.Div):
+                labels = labels | {FLOAT}
+            env = dict(env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = env.get(stmt.target.id, EMPTY) | labels
+        elif isinstance(stmt, ast.For):
+            iter_labels = self.taint_of(stmt.iter, env)
+            loop_env = dict(env)
+            self._bind_target(stmt.target, _elem_labels(iter_labels), loop_env)
+            # Two passes: enough for a monotone lattice of this depth.
+            after_one = self._exec_block(stmt.body, dict(loop_env))
+            merged = _join(loop_env, after_one)
+            self._bind_target(stmt.target, _elem_labels(iter_labels), merged)
+            after_two = self._exec_block(stmt.body, merged)
+            env = _join(env, after_two)
+            env = self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            after_one = self._exec_block(stmt.body, dict(env))
+            merged = _join(env, after_one)
+            after_two = self._exec_block(stmt.body, merged)
+            env = _join(env, after_two)
+            env = self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.If):
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            env = _join(then_env, else_env)
+        elif isinstance(stmt, ast.With):
+            local = dict(env)
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind_target(
+                        item.optional_vars,
+                        self.taint_of(item.context_expr, local),
+                        local,
+                    )
+            env = self._exec_block(stmt.body, local)
+        elif isinstance(stmt, ast.Try):
+            env = self._exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                env = _join(env, self._exec_block(handler.body, dict(env)))
+            env = self._exec_block(stmt.orelse, env)
+            env = self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Nested defs, returns, expression statements: no env change.
+        return env
+
+    def _bind_target(
+        self, target: ast.AST, labels: Labels, env: Dict[str, Labels]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking an ordered pair loses container-order taint but
+            # keeps derivation taints.
+            for elt in target.elts:
+                self._bind_target(elt, labels - {UNORDERED}, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels, env)
+        # Attribute/subscript stores do not create local bindings.
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def taint_of(self, expr: Optional[ast.AST], env: Dict[str, Labels]) -> Labels:
+        if expr is None:
+            return EMPTY
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, EMPTY)
+        if isinstance(expr, ast.Constant):
+            return frozenset({FLOAT}) if isinstance(expr.value, float) else EMPTY
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return self._comp_taint(expr, env) | {UNORDERED}
+        if isinstance(expr, ast.Dict):
+            labels: Set[str] = set()
+            for value in list(expr.keys) + list(expr.values):
+                if value is not None:
+                    labels |= self.taint_of(value, env) - {UNORDERED, FLOAT}
+            return frozenset(labels)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            labels = set()
+            for elt in expr.elts:
+                labels |= self.taint_of(elt, env) - {UNORDERED}
+            return frozenset(labels)
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            return self._comp_taint(expr, env)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute_taint(expr, env)
+        if isinstance(expr, ast.Subscript):
+            # Element access: keep derivation taints, drop order/type.
+            return self.taint_of(expr.value, env) - {UNORDERED, FLOAT}
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, env)
+        if isinstance(expr, ast.BinOp):
+            labels = set(
+                self.taint_of(expr.left, env) | self.taint_of(expr.right, env)
+            )
+            if isinstance(expr.op, ast.Div):
+                labels.add(FLOAT)
+            elif isinstance(expr.op, ast.FloorDiv):
+                labels.discard(FLOAT)
+            return frozenset(labels)
+        if isinstance(expr, ast.UnaryOp):
+            return self.taint_of(expr.operand, env)
+        if isinstance(expr, ast.IfExp):
+            return self.taint_of(expr.body, env) | self.taint_of(expr.orelse, env)
+        if isinstance(expr, (ast.Compare, ast.BoolOp)):
+            labels = set()
+            parts: List[ast.AST] = []
+            if isinstance(expr, ast.Compare):
+                parts = [expr.left] + list(expr.comparators)
+            else:
+                parts = list(expr.values)
+            for part in parts:
+                labels |= self.taint_of(part, env) - {UNORDERED, FLOAT}
+            return frozenset(labels)
+        if isinstance(expr, ast.Starred):
+            return self.taint_of(expr.value, env)
+        if isinstance(expr, ast.JoinedStr):
+            labels = set()
+            for value in expr.values:
+                inner = value.value if isinstance(value, ast.FormattedValue) else value
+                labels |= self.taint_of(inner, env) - {UNORDERED, FLOAT}
+            return frozenset(labels)
+        return EMPTY
+
+    def _comp_taint(self, expr: ast.AST, env: Dict[str, Labels]) -> Labels:
+        local = dict(env)
+        result: Set[str] = set()
+        for gen in getattr(expr, "generators", []):
+            iter_labels = self.taint_of(gen.iter, local)
+            if UNORDERED in iter_labels and not isinstance(expr, ast.SetComp):
+                # A sequence built from an unordered iterable inherits
+                # the nondeterministic order.
+                result.add(UNORDERED)
+            self._bind_target(gen.target, _elem_labels(iter_labels), local)
+        if isinstance(expr, ast.DictComp):
+            result |= self.taint_of(expr.key, local) - {UNORDERED, FLOAT}
+            result |= self.taint_of(expr.value, local) - {UNORDERED, FLOAT}
+        else:
+            elt = getattr(expr, "elt", None)
+            if elt is not None:
+                result |= self.taint_of(elt, local) - {UNORDERED}
+        return frozenset(result)
+
+    def _attribute_taint(self, expr: ast.Attribute, env: Dict[str, Labels]) -> Labels:
+        name = dotted(expr)
+        if name is not None:
+            resolved = None
+            head = name.split(".")[0]
+            if head in self.mod.imports:
+                resolved = ".".join(
+                    [self.mod.imports[head]] + name.split(".")[1:]
+                )
+            if (name in ("os.environ",)) or (resolved == "os.environ"):
+                return frozenset({UNORDERED, ENV})
+        # Attribute reads keep derivation taints of the base object.
+        return self.taint_of(expr.value, env) - {UNORDERED, FLOAT}
+
+    def _call_taint(self, expr: ast.Call, env: Dict[str, Labels]) -> Labels:
+        func = expr.func
+        call_name = dotted(func)
+        last = call_name.rsplit(".", 1)[-1] if call_name else ""
+        arg_exprs = list(expr.args) + [kw.value for kw in expr.keywords]
+        arg_labels: Set[str] = set()
+        for arg in arg_exprs:
+            arg_labels |= self.taint_of(arg, env)
+
+        if last in _ORDER_SANITIZERS:
+            return frozenset(arg_labels - {UNORDERED, UELEM})
+        if last in _INT_CALLS or (last == "round" and len(expr.args) == 1):
+            return frozenset(arg_labels - {FLOAT, UNORDERED})
+        if last in ("getenv",) and call_name in ("os.getenv", "getenv"):
+            return frozenset({ENV})
+        if last in _UNORDERED_CALLS:
+            return frozenset((arg_labels - {FLOAT}) | {UNORDERED})
+        if last in ("list", "tuple"):
+            # Materialising preserves the (non)deterministic order.
+            return frozenset(arg_labels - {FLOAT})
+        if last == "dict":
+            return frozenset(arg_labels - {FLOAT, UNORDERED})
+
+        result: Set[str] = set()
+        # Propagate derivation taints through arbitrary calls, but not
+        # container-order or float type (a call returns a new value).
+        result |= arg_labels & {ENV, UELEM}
+        if isinstance(func, ast.Attribute):
+            base_labels = self.taint_of(func.value, env)
+            if last in _ORDER_PRESERVING_METHODS:
+                result |= base_labels
+            else:
+                result |= base_labels & {ENV, UELEM}
+
+        callee = self.project.resolve_callable(
+            self.mod, self.fn, func, self.local_types
+        )
+        if self.summaries is not None:
+            if callee is not None and self.summaries.returns_float(callee):
+                result.add(FLOAT)
+            elif (
+                callee is None
+                and isinstance(func, ast.Attribute)
+                and self.summaries.method_returns_float(func.attr)
+            ):
+                result.add(FLOAT)
+        if last in _FLOAT_CALLS and (callee is None or self.summaries is None):
+            result.add(FLOAT)
+        return frozenset(result)

@@ -1,23 +1,31 @@
-"""Reporters: human-readable text and machine-readable JSON.
+"""Reporters: human-readable text, machine-readable JSON, and SARIF.
 
 The JSON schema (``version`` 1) is stable for CI consumption::
 
     {
       "version": 1,
+      "mode": "shallow" | "deep",
       "count": <int>,
       "findings": [
         {"rule": "DET001", "path": "...", "line": 3, "col": 0,
          "message": "...", "severity": "error"},
         ...
       ],
-      "summary": {"by_rule": {...}, "by_severity": {...}}
+      "summary": {"by_rule": {...}, "by_severity": {...}},
+      "baseline": null | {"source": "...", "suppressed": <int>,
+                          "stale": [<entry>, ...]}
     }
+
+``mode``/``baseline`` are additive over the original v1 schema; the
+``count``/``findings``/``summary`` contract is unchanged and identical
+between shallow and deep runs.  SARIF rendering lives in
+:mod:`repro.analysis.sarif` and is exposed through ``--format sarif``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .core import Finding, all_rules
 
@@ -26,7 +34,11 @@ __all__ = ["json_report", "render_json", "render_rules", "render_text"]
 JSON_SCHEMA_VERSION = 1
 
 
-def json_report(findings: Sequence[Finding]) -> Dict[str, object]:
+def json_report(
+    findings: Sequence[Finding],
+    mode: str = "shallow",
+    baseline: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
     """Build the JSON-serialisable report dictionary."""
     by_rule: Dict[str, int] = {}
     by_severity: Dict[str, int] = {}
@@ -35,37 +47,67 @@ def json_report(findings: Sequence[Finding]) -> Dict[str, object]:
         by_severity[f.severity] = by_severity.get(f.severity, 0) + 1
     return {
         "version": JSON_SCHEMA_VERSION,
+        "mode": mode,
         "count": len(findings),
         "findings": [f.to_dict() for f in findings],
         "summary": {"by_rule": by_rule, "by_severity": by_severity},
+        "baseline": baseline,
     }
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    return json.dumps(json_report(findings), indent=2, sort_keys=True)
+def render_json(
+    findings: Sequence[Finding],
+    mode: str = "shallow",
+    baseline: Optional[Dict[str, object]] = None,
+) -> str:
+    return json.dumps(
+        json_report(findings, mode=mode, baseline=baseline),
+        indent=2,
+        sort_keys=True,
+    )
 
 
-def render_text(findings: Sequence[Finding]) -> str:
+def render_text(
+    findings: Sequence[Finding],
+    baseline: Optional[Dict[str, object]] = None,
+) -> str:
     """One line per finding plus a summary tail (empty input -> all clean)."""
+    lines: List[str] = []
     if not findings:
-        return "all clean: no findings"
-    lines: List[str] = [f.render() for f in findings]
-    report = json_report(findings)
-    by_rule = report["summary"]["by_rule"]  # type: ignore[index]
-    counts = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
-    lines.append(f"{len(findings)} finding(s) ({counts})")
+        lines.append("all clean: no findings")
+    else:
+        lines.extend(f.render() for f in findings)
+        report = json_report(findings)
+        by_rule = report["summary"]["by_rule"]  # type: ignore[index]
+        counts = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({counts})")
+    if baseline is not None:
+        suppressed = baseline.get("suppressed", 0)
+        lines.append(
+            f"baseline: {suppressed} finding(s) accepted via "
+            f"{baseline.get('source')}"
+        )
+        stale = baseline.get("stale") or []
+        for entry in stale:
+            lines.append(
+                "  stale baseline entry (no longer matches): "
+                f"{entry['rule']} at {entry['path']}"
+            )
     return "\n".join(lines)
 
 
 def render_rules() -> str:
     """Table of registered rules for ``lint --list-rules``."""
     lines = []
-    for rule in all_rules():
+    for rule in all_rules(deep=True):
+        tier = "deep" if rule.deep else "file"
+        lines.append(
+            f"{rule.id}  [{rule.severity:7s}] [{tier}]  {rule.title}"
+        )
         where = (
             "all files" if rule.scope is None
             else ", ".join(rule.scope)
         )
-        lines.append(f"{rule.id}  [{rule.severity:7s}]  {rule.title}")
         lines.append(f"        applies to: {where}")
         if rule.exempt:
             lines.append(f"        exempt: {', '.join(rule.exempt)}")

@@ -165,7 +165,7 @@ class SortedFreeIndex:
                 if len(distinct) > REPAIR_LIMIT:
                     self._rebuild()
                 elif distinct:
-                    self._repair(list(distinct))
+                    self._repair(sorted(distinct))
         self._gen = gen
         return self._nodes
 

@@ -150,10 +150,12 @@ class Workload:
         if not self.jobs:
             return grid
         for j in self.jobs:
-            val_mb = (
+            # ``mean`` returns float MB: bin in GB directly rather than
+            # holding a float under an integer-MB name.
+            usage = (
                 j.usage.peak() if which == "max" else j.usage.mean(j.base_runtime)
             )
-            val_gb = val_mb / MB_PER_GB
+            val_gb = usage / MB_PER_GB
             row = int(np.searchsorted(mem_edges, val_gb, side="right")) - 1
             row = min(max(row, 0), len(MEMORY_BINS_GB) - 1)
             col = int(np.searchsorted(SIZE_BIN_EDGES, j.n_nodes, side="left")) - 1

@@ -1,0 +1,31 @@
+# lint-relpath: repro/scheduler/flow_det101.py
+"""Golden fixture: DET101 float accumulation over unordered iteration."""
+
+
+def unordered_float_sum(values):
+    pending = set(values)
+    total = 0.0
+    for v in pending:
+        total += v * 1.5  # EXPECT: DET101
+    return total
+
+
+def suppressed_sum(values):
+    total = 0.0
+    for v in set(values):
+        total += v * 1.5  # repro: noqa[DET101]
+    return total
+
+
+def sorted_sum_is_clean(values):
+    total = 0.0
+    for v in sorted(set(values)):
+        total += v * 1.5
+    return total
+
+
+def integer_sum_is_clean(values):
+    total = 0
+    for v in set(values):
+        total += int(v)
+    return total

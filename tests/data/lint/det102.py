@@ -1,0 +1,19 @@
+# lint-relpath: repro/core/flow_det102.py
+"""Golden fixture: DET102 os.environ-derived RNG seeds."""
+
+import os
+
+
+def env_seed():
+    seed = os.environ.get("REPRO_SEED", "0")  # EXPECT: DET102
+    return seed
+
+
+def suppressed():
+    seed = os.environ.get("REPRO_SEED", "0")  # repro: noqa[DET102]
+    return seed
+
+
+def config_seed_is_clean(config):
+    seed = config.seed
+    return seed

@@ -1,0 +1,16 @@
+# lint-relpath: repro/metrics/flow_det103.py
+"""Golden fixture: DET103 unordered containers materialised unsorted."""
+
+
+def materialise(ids):
+    distinct = set(ids)
+    ordered = list(distinct)  # EXPECT: DET103
+    return ordered
+
+
+def suppressed(ids):
+    return list(set(ids))  # repro: noqa[DET103]
+
+
+def sorted_is_clean(ids):
+    return sorted(set(ids))

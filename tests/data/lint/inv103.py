@@ -1,0 +1,23 @@
+# lint-relpath: repro/cluster/flow_inv103.py
+"""Golden fixture: INV103 lender mutations without listener notify."""
+
+
+class MiniLender:
+    def __init__(self, n):
+        self.lender_jobs = [dict() for _ in range(n)]
+
+    def _notify_demand(self, lenders):
+        pass
+
+    def silent_borrow(self, lender, jid, mb):  # EXPECT: INV103
+        self.lender_jobs[lender][jid] = mb
+
+    def suppressed_borrow(self, lender, jid, mb):  # repro: noqa[INV103]
+        self.lender_jobs[lender][jid] = mb
+
+    def notified_borrow(self, lender, jid, mb):
+        self.lender_jobs[lender][jid] = mb
+        self._notify_demand([lender])
+
+    def check_invariants(self):
+        pass

@@ -1,0 +1,31 @@
+# lint-relpath: repro/experiments/flow_race001.py
+"""Golden fixture: RACE001 worker writes to module-level state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_cache = {}
+_sanctioned = {}
+
+
+def _reset():
+    _sanctioned.clear()
+
+
+def worker(item):
+    _cache[item] = item * 2  # EXPECT: RACE001
+    _sanctioned[item] = item
+    return _cache[item]
+
+
+def suppressed_worker(item):
+    _cache[item] = item  # repro: noqa[RACE001]
+    return item
+
+
+def launch(items):
+    results = []
+    with ProcessPoolExecutor(max_workers=2, initializer=_reset) as pool:
+        for item in items:
+            results.append(pool.submit(worker, item))
+            results.append(pool.submit(suppressed_worker, item))
+    return results

@@ -1,0 +1,16 @@
+# lint-relpath: repro/experiments/flow_race002.py
+"""Golden fixture: RACE002 module-level handle in a worker module."""
+
+import threading
+
+_lock = threading.Lock()  # EXPECT: RACE002
+_suppressed_lock = threading.Lock()  # repro: noqa[RACE002]
+
+
+def worker(x):
+    with _lock:
+        return x
+
+
+def launch(items, pool):
+    return [pool.submit(worker, i) for i in items]

@@ -1,0 +1,14 @@
+# lint-relpath: repro/experiments/flow_race003.py
+"""Golden fixture: RACE003 unpicklable callables sent to a pool."""
+
+
+def launch(pool, items):
+    jobs = [pool.submit(lambda i: i * 2, item) for item in items]  # EXPECT: RACE003
+    for item in items:
+        jobs.append(pool.submit(lambda: item))  # repro: noqa[RACE003]
+
+    def nested(x):
+        return x
+
+    jobs.append(pool.map(nested, items))  # EXPECT: RACE003
+    return jobs

@@ -1,0 +1,22 @@
+# lint-relpath: repro/cluster/flow_unit101.py
+"""Golden fixture: UNIT101 flow-sensitive float-into-*_mb taint."""
+
+
+def halve(total_mb: int) -> float:
+    return total_mb / 2
+
+
+def flows_into_mb(total_mb: int):
+    half = halve(total_mb)
+    request_mb = half  # EXPECT: UNIT101
+    return request_mb
+
+
+def suppressed(total_mb: int):
+    request_mb = halve(total_mb)  # repro: noqa[UNIT101]
+    return request_mb
+
+
+def rounded_is_clean(total_mb: int):
+    request_mb = int(round(halve(total_mb)))
+    return request_mb

@@ -1,0 +1,148 @@
+"""Unit tests for the taint lattice and float summaries (repro.analysis.dataflow)."""
+
+import ast
+
+from repro.analysis.core import ParsedModule
+from repro.analysis.dataflow import (
+    ENV,
+    FLOAT,
+    UELEM,
+    UNORDERED,
+    TaintAnalysis,
+    compute_float_summaries,
+)
+from repro.analysis.graph import Project
+
+
+def analyze(source, qname):
+    """Run taint analysis on one function of a single-module project."""
+    rel = "repro/m.py"
+    project = Project.from_modules([ParsedModule(source, path=rel, relpath=rel)])
+    fn = project.function(qname)
+    assert fn is not None, qname
+    summaries = compute_float_summaries(project)
+    return TaintAnalysis(project, fn, summaries).run()
+
+
+def taint_at_return(source, qname="repro.m.f"):
+    ta = analyze(source, qname)
+    ret = next(
+        node for node in ast.walk(ta.fn.node) if isinstance(node, ast.Return)
+    )
+    env = ta.env_before[id(ret)]
+    return ta.taint_of(ret.value, env)
+
+
+def test_set_constructor_is_unordered():
+    labels = taint_at_return("def f(xs):\n    s = set(xs)\n    return s\n")
+    assert UNORDERED in labels
+
+
+def test_sorted_sanitizes_order():
+    labels = taint_at_return(
+        "def f(xs):\n    s = sorted(set(xs))\n    return s\n"
+    )
+    assert UNORDERED not in labels
+
+
+def test_list_of_set_preserves_order_taint():
+    labels = taint_at_return("def f(xs):\n    s = list(set(xs))\n    return s\n")
+    assert UNORDERED in labels
+
+
+def test_environ_is_env_and_unordered():
+    labels = taint_at_return(
+        "import os\n\ndef f():\n    e = os.environ\n    return e\n"
+    )
+    assert ENV in labels and UNORDERED in labels
+
+
+def test_environ_get_propagates_env():
+    labels = taint_at_return(
+        "import os\n\ndef f():\n    v = os.environ.get('X', '0')\n    return v\n"
+    )
+    assert ENV in labels
+
+
+def test_loop_element_carries_uelem():
+    labels = taint_at_return(
+        "def f(xs):\n"
+        "    out = 0\n"
+        "    for v in set(xs):\n"
+        "        out = v\n"
+        "    return out\n"
+    )
+    assert UELEM in labels
+
+
+def test_float_call_and_int_sanitizer():
+    assert FLOAT in taint_at_return("def f(x):\n    y = float(x)\n    return y\n")
+    assert FLOAT not in taint_at_return(
+        "def f(x):\n    y = int(float(x))\n    return y\n"
+    )
+
+
+def test_true_division_adds_float_floor_division_does_not():
+    assert FLOAT in taint_at_return("def f(x):\n    y = x / 2\n    return y\n")
+    assert FLOAT not in taint_at_return("def f(x):\n    y = x // 2\n    return y\n")
+
+
+def test_float_param_annotation_seeds_env():
+    assert FLOAT in taint_at_return("def f(x: float):\n    return x\n")
+
+
+def test_set_param_annotation_seeds_env():
+    assert UNORDERED in taint_at_return("def f(x: set):\n    return x\n")
+
+
+def test_if_branches_join():
+    labels = taint_at_return(
+        "def f(xs, flag):\n"
+        "    v = 0\n"
+        "    if flag:\n"
+        "        v = set(xs)\n"
+        "    return v\n"
+    )
+    assert UNORDERED in labels
+
+
+def test_summaries_from_annotation_and_body_inference():
+    source = (
+        "def g(x) -> float:\n"
+        "    return x * 1.0\n"
+        "\n"
+        "def h(x):\n"
+        "    return g(x)\n"
+        "\n"
+        "def f(x):\n"
+        "    y = h(x)\n"
+        "    return y\n"
+    )
+    rel = "repro/m.py"
+    project = Project.from_modules([ParsedModule(source, path=rel, relpath=rel)])
+    summaries = compute_float_summaries(project)
+    assert summaries.returns_float("repro.m.g")
+    assert summaries.returns_float("repro.m.h")
+    assert FLOAT in taint_at_return(source)
+
+
+def test_unknown_call_drops_float_but_keeps_env():
+    labels = taint_at_return(
+        "import os\n\n"
+        "def f():\n"
+        "    v = mystery(os.environ.get('X'))\n"
+        "    return v\n"
+    )
+    assert ENV in labels
+    assert FLOAT not in labels
+
+
+def test_tuple_unpack_drops_container_order_taint():
+    # ``k`` is bound from an element of ``item``; the container-level
+    # order taint must not leak onto the unpacked names.
+    labels = taint_at_return(
+        "def f(item: set):\n"
+        "    k, v = item\n"
+        "    return k\n"
+    )
+    assert UNORDERED not in labels

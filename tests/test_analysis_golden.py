@@ -40,7 +40,7 @@ def test_every_rule_has_a_golden_fixture():
     for path in FIXTURES:
         _src, _rel, expected = parse_fixture(path)
         covered.update(rule for _line, rule in expected)
-    assert covered == set(rule_ids())
+    assert covered == set(rule_ids(deep=True))
 
 
 def test_every_fixture_exercises_noqa():
@@ -53,7 +53,7 @@ def test_every_fixture_exercises_noqa():
 @pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
 def test_golden_fixture_matches_expectations(path):
     source, relpath, expected = parse_fixture(path)
-    findings = lint_source(source, path=str(path), relpath=relpath)
+    findings = lint_source(source, path=str(path), relpath=relpath, deep=True)
     actual = Counter((f.line, f.rule) for f in findings)
     assert actual == expected, (
         f"{path.name}: findings diverge from EXPECT markers\n"

@@ -13,13 +13,45 @@ PACKAGE_DIR = Path(repro.__file__).resolve().parent
 
 EXPECTED_RULES = ["DET001", "DET002", "INV001", "PY001", "UNIT001", "UNIT002"]
 
+EXPECTED_DEEP_RULES = EXPECTED_RULES + [
+    "DET101",
+    "DET102",
+    "DET103",
+    "INV101",
+    "INV102",
+    "INV103",
+    "RACE001",
+    "RACE002",
+    "RACE003",
+    "UNIT101",
+]
+
 
 def test_shipped_rules_registered():
     assert rule_ids() == EXPECTED_RULES
 
 
+def test_shipped_deep_rules_registered():
+    assert sorted(rule_ids(deep=True)) == sorted(EXPECTED_DEEP_RULES)
+
+
 def test_package_tree_is_lint_clean():
     findings = lint_paths([str(PACKAGE_DIR)])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_package_tree_is_deep_lint_clean():
+    # The whole-program pass must hold on the shipped tree without any
+    # baseline suppressions: determinism taint, worker shared-state, and
+    # ledger-coherence hazards are all fix-on-sight.
+    findings = lint_paths([str(PACKAGE_DIR)], deep=True)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_analysis_subpackage_is_deep_lint_clean():
+    # The analyzer must satisfy its own deep rules even when linted as a
+    # standalone path set (smaller project graph, different roots).
+    findings = lint_paths([str(PACKAGE_DIR / "analysis")], deep=True)
     assert findings == [], "\n" + render_text(findings)
 
 

@@ -86,6 +86,36 @@ def test_heatmap_invalid_metric(shared_workload):
         shared_workload.memory_heatmap("median")
 
 
+def test_heatmap_matches_reference_binning(shared_workload):
+    """The heatmap must equal a from-scratch binning of the same jobs.
+
+    Regression guard for the UNIT101 cleanup (the float usage value is
+    no longer held under an integer-MB name): the refactor must not have
+    changed a single cell.
+    """
+    from repro.core.units import MB_PER_GB
+    from repro.traces.archer import MEMORY_BINS_GB
+    from repro.traces.workload import SIZE_BIN_EDGES
+
+    for which in ("avg", "max"):
+        mem_edges = [b[0] for b in MEMORY_BINS_GB] + [MEMORY_BINS_GB[-1][1]]
+        expected = np.zeros((len(MEMORY_BINS_GB), len(SIZE_BIN_LABELS)))
+        for j in shared_workload.jobs:
+            usage_value = (
+                j.usage.peak() if which == "max" else j.usage.mean(j.base_runtime)
+            )
+            val_gb = usage_value / MB_PER_GB
+            row = int(np.searchsorted(mem_edges, val_gb, side="right")) - 1
+            row = min(max(row, 0), len(MEMORY_BINS_GB) - 1)
+            col = int(np.searchsorted(SIZE_BIN_EDGES, j.n_nodes, side="left")) - 1
+            col = min(max(col, 0), len(SIZE_BIN_LABELS) - 1)
+            expected[row, col] += 1
+        expected = 100.0 * expected / len(shared_workload.jobs)
+        np.testing.assert_array_equal(
+            shared_workload.memory_heatmap(which), expected
+        )
+
+
 def test_empty_workload():
     wl = Workload(jobs=[], profiles=[])
     assert wl.frac_large_memory() == 0.0
