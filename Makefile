@@ -9,7 +9,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint lint-deep lint-json lint-sarif test check \
-	bench-parallel bench-obs obs-smoke bench-sim bench-lint
+	bench-parallel bench-obs obs-smoke bench-sim bench-sim-16k bench-lint
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -54,6 +54,12 @@ obs-smoke:
 # pre-optimisation baseline; writes benchmarks/output/BENCH_sim.json
 bench-sim:
 	$(PYTHON) benchmarks/bench_sim.py
+
+# Columnar-core scale point only: 16384-node dynamic run against the
+# 1.25x pre-columnar budget; merges scale_16k into BENCH_sim.json and
+# exits non-zero when over budget (CI uploads the JSON as an artifact).
+bench-sim-16k:
+	$(PYTHON) benchmarks/bench_sim.py --only-16k
 
 # Shallow vs deep lint wall clock + parse-cache stats; writes
 # benchmarks/output/BENCH_lint.json

@@ -20,7 +20,13 @@ Usage (CI runs the smoke variant and uploads the JSON as an artifact):
 
     python benchmarks/bench_sim.py                 # full bench
     python benchmarks/bench_sim.py --jobs 300      # reduced smoke
+    python benchmarks/bench_sim.py --only-16k      # 16k scale point only
     python benchmarks/bench_sim.py --record-baseline
+
+The full bench also times the 16k-node dynamic scale point (columnar
+core acceptance: within 1.25x the pre-columnar 1024-node dynamic wall
+clock); ``--only-16k`` re-times just that point and merges it into the
+existing ``BENCH_sim.json`` (``make bench-sim-16k``).
 """
 
 from __future__ import annotations
@@ -48,6 +54,18 @@ BASELINE_PATH = OUTPUT_DIR / "BENCH_sim_baseline.json"
 #: exercises the lender-demand / repricing hot path.
 PAPER_NODES = 1024
 
+#: Columnar-core scale point: the dynamic policy at 16x the paper's node
+#: count, sized so node-array work (feasibility scans, index repairs,
+#: per-node resize decisions) dominates over per-job bookkeeping.
+SCALE16K_NODES = 16384
+SCALE16K_JOBS = 300
+#: Fixed anchor for the scale-point budget: the pre-columnar dynamic
+#: 1024x1000 best_s (the "current" record in BENCH_sim.json at the time
+#: the struct-of-arrays core landed).  The 16k dynamic run must stay
+#: within ``SCALE16K_BUDGET_RATIO`` x this wall clock.
+PRE_COLUMNAR_DYNAMIC_1024_S = 2.17
+SCALE16K_BUDGET_RATIO = 1.25
+
 
 def _paper_scenario(policy: str, n_jobs: int, seed: int) -> Scenario:
     return Scenario(
@@ -60,6 +78,30 @@ def _paper_scenario(policy: str, n_jobs: int, seed: int) -> Scenario:
         n_jobs=n_jobs,
         seed=seed,
     )
+
+
+def _scale16k_scenario(seed: int) -> Scenario:
+    return Scenario(
+        trace="synthetic",
+        policy="dynamic",
+        memory_level=50,
+        frac_large=0.25,
+        overestimation=0.0,
+        n_nodes=SCALE16K_NODES,
+        n_jobs=SCALE16K_JOBS,
+        seed=seed,
+    )
+
+
+def _time_scale16k(seed: int, repeats: int) -> dict:
+    """Time the 16k-node dynamic run and report it against the budget."""
+    m = _time_simulate(_scale16k_scenario(seed), repeats)
+    budget = round(PRE_COLUMNAR_DYNAMIC_1024_S * SCALE16K_BUDGET_RATIO, 3)
+    m["anchor_dynamic_1024_s"] = PRE_COLUMNAR_DYNAMIC_1024_S
+    m["budget_s"] = budget
+    m["ratio_vs_anchor"] = round(m["best_s"] / PRE_COLUMNAR_DYNAMIC_1024_S, 3)
+    m["within_budget"] = m["best_s"] <= budget
+    return m
 
 
 def _time_simulate(scenario: Scenario, repeats: int) -> dict:
@@ -117,11 +159,30 @@ def main(argv=None) -> int:
                     help="fig5 grid scale")
     ap.add_argument("--skip-grid", action="store_true",
                     help="paper-scale runs only (fast CI smoke)")
+    ap.add_argument("--skip-16k", action="store_true",
+                    help="skip the 16k-node dynamic scale point")
+    ap.add_argument("--only-16k", action="store_true",
+                    help="run only the 16k-node dynamic scale point and "
+                         "merge it into the existing output JSON")
     ap.add_argument("--record-baseline", action="store_true",
                     help=f"write the measurements to {BASELINE_PATH.name} "
                          "instead of BENCH_sim.json")
     ap.add_argument("--out", default=str(OUTPUT_DIR / "BENCH_sim.json"))
     args = ap.parse_args(argv)
+
+    if args.only_16k:
+        m = _time_scale16k(args.seed, args.repeats)
+        print(f"scale-16k dynamic : {m['best_s']:8.3f} s  "
+              f"({m['events']} events, {m['n_nodes']} nodes, "
+              f"{m['n_jobs']} jobs; budget {m['budget_s']} s, "
+              f"within={m['within_budget']})")
+        out = Path(args.out)
+        record = json.loads(out.read_text()) if out.exists() else {}
+        record.setdefault("current", {})["scale_16k"] = m
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"merged scale_16k into {out}")
+        return 0 if m["within_budget"] else 1
 
     measurements: dict = {"paper_scale": [], "python": platform.python_version()}
     for policy in ("dynamic", "static", "baseline"):
@@ -130,6 +191,13 @@ def main(argv=None) -> int:
         measurements["paper_scale"].append(m)
         print(f"paper-scale {policy:8s}: {m['best_s']:8.3f} s  "
               f"({m['events']} events, {sc.n_nodes} nodes, {sc.n_jobs} jobs)")
+    if not args.skip_16k:
+        m = _time_scale16k(args.seed, args.repeats)
+        measurements["scale_16k"] = m
+        print(f"scale-16k dynamic : {m['best_s']:8.3f} s  "
+              f"({m['events']} events, {m['n_nodes']} nodes, "
+              f"{m['n_jobs']} jobs; budget {m['budget_s']} s, "
+              f"within={m['within_budget']})")
     if not args.skip_grid:
         g = _time_fig5_grid(args.scale, args.repeats)
         measurements["fig5_grid"] = g

@@ -36,7 +36,7 @@ from .dataflow import (
 from .graph import FunctionInfo, ModuleInfo, Project, dotted
 from .rules import _float_producer, _mb_named, _target_names
 
-__all__ = ["LEDGER_FIELDS", "FREE_VECTOR_FIELDS"]
+__all__ = ["LEDGER_FIELDS", "FREE_VECTOR_FIELDS", "GENERATION_LOG_SINKS"]
 
 
 # ----------------------------------------------------------------------
@@ -693,14 +693,20 @@ class UnpicklableDispatchRule(ProjectRule):
 #: and the free-DRAM generation log.  Writes outside the owning class
 #: (the one defining ``check_invariants``) bypass aggregate maintenance.
 LEDGER_FIELDS = frozenset(
-    {"local_used_mb", "lent_mb", "busy", "job_on_node", "lender_jobs",
-     "busy_count", "busy_large_count", "local_used_total", "lent_total",
-     "memory_node_count", "startable_count", "_free_local", "_memnode",
-     "generation", "allocations", "_free_log", "_free_log_base"}
+    {"local_used_mb", "lent_mb", "remote_held_mb", "busy", "job_on_node",
+     "lender_jobs", "busy_count", "busy_large_count", "local_used_total",
+     "lent_total", "memory_node_count", "startable_count", "_free_local",
+     "_memnode", "generation", "allocations", "_free_log",
+     "_free_log_base", "free_log_overflows", "columns"}
 )
 #: Fields mirrored by the maintained free vector + generation log: every
-#: in-place element write must pass through ``_log_free``.
+#: in-place element write must pass through a generation-log sink.
 FREE_VECTOR_FIELDS = frozenset({"local_used_mb", "lent_mb", "_free_local"})
+#: Methods that append to the free-DRAM delta log and advance the
+#: generation stamp — the scalar sink and its columnar bulk twin.  The
+#: columnar mutators (``_touch_*_many``) fancy-index whole node batches
+#: and log through the bulk sink; both satisfy INV102.
+GENERATION_LOG_SINKS = frozenset({"_log_free", "_log_free_many"})
 #: Generic names also used outside ledger classes; only flagged when the
 #: written object's type resolves to a ledger-owning class.
 _AMBIGUOUS_FIELDS = frozenset({"busy", "generation", "allocations"})
@@ -813,20 +819,24 @@ class FreeVectorLogRule(ProjectRule):
     """INV102: in-place free-vector writes must log the generation.
 
     Inside the owning class, any element write to ``local_used_mb``,
-    ``lent_mb`` or ``_free_local`` must (transitively) call
-    ``_log_free`` so the generation stamp advances and incremental
-    consumers see the change.
+    ``lent_mb`` or ``_free_local`` — scalar or fancy-indexed over a node
+    batch — must (transitively) reach a generation-log sink
+    (``_log_free`` or its columnar bulk twin ``_log_free_many``) so the
+    generation stamp advances and incremental consumers see the change.
     """
 
     id = "INV102"
-    title = "free-vector element write without a _log_free generation bump"
+    title = "free-vector element write without a generation-log bump"
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         owners = _owner_classes(project)
         for qname in sorted(owners):
             cls = project.classes[qname]
             for method in cls.methods.values():
-                if method.name in ("_log_free", "recompute_aggregates"):
+                if (
+                    method.name in GENERATION_LOG_SINKS
+                    or method.name == "recompute_aggregates"
+                ):
                     continue
                 writes = [
                     stmt
@@ -841,14 +851,18 @@ class FreeVectorLogRule(ProjectRule):
                 if not writes:
                     continue
                 reach = project.reachable({method.qname})
-                if any(q.rsplit(".", 1)[-1] == "_log_free" for q in reach):
+                if any(
+                    q.rsplit(".", 1)[-1] in GENERATION_LOG_SINKS
+                    for q in reach
+                ):
                     continue
                 for stmt in writes:
                     yield _finding(
                         self, method, stmt,
                         f"'{method.name}' writes a free-vector element but "
-                        "never reaches _log_free; the generation stamp and "
-                        "delta log go stale for incremental consumers",
+                        "never reaches _log_free/_log_free_many; the "
+                        "generation stamp and delta log go stale for "
+                        "incremental consumers",
                     )
 
 

@@ -9,7 +9,9 @@ behalf of each compute node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass
@@ -51,6 +53,17 @@ class JobAllocation:
     _remote_on: Optional[Dict[int, int]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: per-lender borrowed totals (values exact; key *order* is
+    #: maintenance order, see :meth:`lender_ids`)
+    _lender_mb: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _node_set: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _nodes_arr: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Seal maintenance (called by Cluster only)
@@ -62,17 +75,27 @@ class JobAllocation:
         self._remote_on = {
             node: sum(m.values()) for node, m in self.remote_mb.items()
         }
+        lender_mb: Dict[int, int] = {}
+        for m in self.remote_mb.values():
+            for lender, mb in m.items():
+                lender_mb[lender] = lender_mb.get(lender, 0) + mb
+        self._lender_mb = lender_mb
+        self._node_set = frozenset(self.nodes)
+        self._nodes_arr = np.asarray(self.nodes, dtype=np.int64)
 
     def _bump_local(self, delta: int) -> None:
         if self._total_local is not None:
             self._total_local += delta
 
-    def _bump_remote(self, node: int, delta: int) -> None:
+    def _bump_remote(self, node: int, lender: int, delta: int) -> None:
         if self._total_remote is not None:
             self._total_remote += delta
             self._remote_on[node] = self._remote_on.get(node, 0) + delta
             if self._remote_on[node] == 0:
                 del self._remote_on[node]
+            self._lender_mb[lender] = self._lender_mb.get(lender, 0) + delta
+            if self._lender_mb[lender] == 0:
+                del self._lender_mb[lender]
 
     def check_seal(self) -> None:
         """Raise ``ValueError`` if the sealed caches drifted from the maps."""
@@ -93,6 +116,16 @@ class JobAllocation:
             raise ValueError(
                 f"sealed total_remote {self._total_remote} != "
                 f"{sum(brute_remote.values())}"
+            )
+        brute_lenders = dict(self.lenders())
+        cached_lenders = {n: mb for n, mb in (self._lender_mb or {}).items() if mb}
+        if cached_lenders != brute_lenders:
+            raise ValueError(
+                f"sealed lender_mb {cached_lenders} != {brute_lenders}"
+            )
+        if self._node_set is not None and self._node_set != set(self.nodes):
+            raise ValueError(
+                f"sealed node set {set(self._node_set)} != {set(self.nodes)}"
             )
 
     # ------------------------------------------------------------------
@@ -128,12 +161,48 @@ class JobAllocation:
         return self.total_remote() / tot
 
     def lenders(self) -> Iterator[Tuple[int, int]]:
-        """Yield ``(lender node, MB)`` aggregated over compute nodes."""
+        """Yield ``(lender node, MB)`` aggregated over compute nodes.
+
+        Deliberately brute-force: the aggregation order (first appearance
+        across ``remote_mb``) fixes the float summation order of
+        :meth:`repro.slowdown.ContentionModel.slowdown`, which the
+        byte-identical campaign records depend on.  Order-insensitive
+        consumers should use :meth:`lender_ids` instead, which reads the
+        sealed cache in O(lenders).
+        """
         agg: Dict[int, int] = {}
         for m in self.remote_mb.values():
             for lender, mb in m.items():
                 agg[lender] = agg.get(lender, 0) + mb
         yield from agg.items()
+
+    def lender_ids(self) -> Iterable[int]:
+        """Lender node ids, **unordered** — sealed cache when available.
+
+        The cached dict's key order is maintenance order (not the
+        first-appearance order of :meth:`lenders`), so only use this
+        where order cannot matter: set construction, demand-cache
+        invalidation, touched-node lists that are deduped downstream.
+        """
+        if self._lender_mb is not None:
+            return self._lender_mb.keys()
+        return {lender for m in self.remote_mb.values() for lender in m}
+
+    def has_node(self, node: int) -> bool:
+        """O(1) compute-node membership (sealed); list scan otherwise."""
+        if self._node_set is not None:
+            return node in self._node_set
+        return node in self.nodes
+
+    def nodes_array(self) -> np.ndarray:
+        """Compute nodes as an ``int64`` array for vectorised consumers.
+
+        Sealed allocations return the cached array (do not mutate it);
+        unsealed ones pay the conversion on each call.
+        """
+        if self._nodes_arr is not None:
+            return self._nodes_arr
+        return np.asarray(self.nodes, dtype=np.int64)
 
     def check_conservation(self) -> None:
         """Raise ``ValueError`` if the record is internally inconsistent.

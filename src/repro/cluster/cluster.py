@@ -1,11 +1,13 @@
 """Cluster state: columnar node ledgers with exact memory accounting.
 
-All memory book-keeping is integer MB.  Three per-node ledgers describe the
-state:
+All memory book-keeping is integer MB.  Per-node state lives in parallel
+numpy arrays owned by a :class:`~repro.cluster.columns.NodeColumns`
+struct-of-arrays store; :class:`~repro.cluster.node.Node` is a thin
+index-backed view over it.  Three ledgers describe the memory state:
 
 * ``local_used_mb`` — DRAM consumed by the job running *on* that node,
 * ``lent_mb``       — DRAM lent to jobs running on *other* nodes,
-* ``free local``    — ``capacity − local_used − lent`` (derived).
+* ``free local``    — ``capacity − local_used − lent`` (derived column).
 
 Invariants (asserted by :meth:`Cluster.check_invariants` and
 property-tested):
@@ -20,18 +22,25 @@ Incremental aggregates (this module's hot-path contract): every mutator
 :meth:`~Cluster.grow_local` / :meth:`~Cluster.shrink_local` /
 :meth:`~Cluster.add_remote` / :meth:`~Cluster.remove_remote`) updates
 running scalar aggregates (``busy_count``, ``lent_total``,
-``local_used_total``, ``memory_node_count``, ``startable_count``) and a
-maintained ``free_local`` vector in place, so per-event accounting,
-scheduling pre-checks, backfill shadow estimation and telemetry sampling
-are O(changed nodes) instead of O(n_nodes).
+``local_used_total``, ``memory_node_count``, ``startable_count``) and the
+derived ``free_local`` / ``memnode`` columns in place, so per-event
+accounting, scheduling pre-checks, backfill shadow estimation and
+telemetry sampling are O(changed nodes) instead of O(n_nodes).
 :meth:`~Cluster.recompute_aggregates` is the brute-force path that
 :meth:`~Cluster.check_invariants` (and the property tests) cross-check
 the incremental values against.
+
+The generation-stamped free-DRAM delta log (:meth:`Cluster.free_changes_since`)
+is the compatibility layer incremental consumers (the pool's sorted-free
+indexes) sync against; when the bounded log overflows, consumers that fell
+behind rebuild from the columns and the overflow is counted in
+:attr:`Cluster.free_log_overflows` (surfaced as a ``repro.obs`` gauge).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +48,7 @@ from ..core.config import SystemConfig
 from ..core.errors import AllocationError
 from ..obs.profiling import perf_section
 from .allocation import JobAllocation
+from .columns import NodeColumns
 from .node import Node
 
 #: Bound on the free-ledger delta log.  When it overflows, the oldest
@@ -55,15 +65,24 @@ class Cluster:
         n = config.n_nodes
         n_large = config.n_large_nodes
         # Large nodes occupy the lowest indices (deterministic layout).
-        self.is_large = np.zeros(n, dtype=bool)
-        self.is_large[:n_large] = True
-        self.capacity_mb = np.where(
-            self.is_large, config.large_mem_mb, config.normal_mem_mb
+        is_large = np.zeros(n, dtype=bool)
+        is_large[:n_large] = True
+        capacity = np.where(
+            is_large, config.large_mem_mb, config.normal_mem_mb
         ).astype(np.int64)
-        self.local_used_mb = np.zeros(n, dtype=np.int64)
-        self.lent_mb = np.zeros(n, dtype=np.int64)
-        self.busy = np.zeros(n, dtype=bool)
-        self.job_on_node = np.full(n, -1, dtype=np.int64)
+        #: the columnar node store (struct of arrays); the attributes
+        #: below alias its columns, so either spelling reads the same
+        #: memory.  All writes funnel through this class's mutators.
+        self.columns = NodeColumns(capacity, is_large)
+        self.is_large = self.columns.is_large
+        self.capacity_mb = self.columns.capacity_mb
+        self.local_used_mb = self.columns.local_used_mb
+        self.lent_mb = self.columns.lent_mb
+        #: per-node MB the job running on the node borrows from others
+        #: (columnar mirror of its allocation's ``remote_on`` totals)
+        self.remote_held_mb = self.columns.remote_held_mb
+        self.busy = self.columns.busy
+        self.job_on_node = self.columns.job_on_node
         #: live allocations by job id
         self.allocations: Dict[int, JobAllocation] = {}
         #: per lender node: job id -> MB currently borrowed from it
@@ -85,12 +104,12 @@ class Cluster:
         self.startable_count: int = n
         self._total_capacity: int = int(self.capacity_mb.sum())
         self._n_large: int = int(n_large)
-        # Maintained free-DRAM vector; exposed through a read-only view so
-        # consumers cannot desync it (they copy before scratch mutations).
-        self._free_local = self.capacity_mb - self.local_used_mb - self.lent_mb
+        # Derived columns; exposed through read-only views so consumers
+        # cannot desync them (they copy before scratch mutations).
+        self._free_local = self.columns.free_local
         self._free_view = self._free_local.view()
         self._free_view.flags.writeable = False
-        self._memnode = np.zeros(n, dtype=bool)
+        self._memnode = self.columns.memnode
         self._memnode_view = self._memnode.view()
         self._memnode_view.flags.writeable = False
         #: bumped once per node whose free DRAM changed (index generation)
@@ -98,10 +117,18 @@ class Cluster:
         # Delta log: nodes touched at generations [_free_log_base, generation)
         self._free_log: List[int] = []
         self._free_log_base: int = 0
+        #: times the bounded delta log overflowed (consumers that fell
+        #: behind rebuild from the columns; surfaced via repro.obs)
+        self.free_log_overflows: int = 0
         #: demand-ledger listeners, called as ``listener(cluster, lenders)``
         #: whenever the borrow layout or total allocation of a job changes
         #: (``lenders`` = the job's lender nodes whose demand may change)
         self._demand_listeners: List[Callable[["Cluster", Sequence[int]], None]] = []
+        # Coalesced-notification state (see :meth:`defer_demand`):
+        # explicit dirty lenders + dirty allocations expanded at flush.
+        self._deferred_demand: Optional[
+            Tuple[set, Dict[int, JobAllocation]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Interconnect (lazy; used by topology-aware lending and the optional
@@ -132,6 +159,43 @@ class Cluster:
 
     def node(self, index: int) -> Node:
         return Node(self, index)
+
+    # ------------------------------------------------------------------
+    # Node-view write funnels (scenario setup / what-if scaffolding).
+    # These keep the columns, aggregates, generation log and demand
+    # listeners coherent, but bypass the per-job allocation records, so
+    # they are for standalone column state only: `check_invariants`
+    # cross-checks ledgers against live allocations and will reject
+    # funnel-written state that no allocation backs.
+    # ------------------------------------------------------------------
+    def set_local_used(self, node: int, mb: int) -> None:
+        """Set ``local_used_mb[node]`` absolutely, keeping columns coherent."""
+        mb = int(mb)
+        if mb < 0:
+            raise AllocationError(f"negative local_used {mb}MB on node {node}")
+        if mb + int(self.lent_mb[node]) > int(self.capacity_mb[node]):
+            raise AllocationError(
+                f"node {node}: local_used {mb}MB + lent "
+                f"{int(self.lent_mb[node])}MB exceeds capacity"
+            )
+        delta = mb - int(self.local_used_mb[node])
+        if delta:
+            self._touch_local(node, delta)
+
+    def set_lent(self, node: int, mb: int) -> None:
+        """Set ``lent_mb[node]`` absolutely, keeping columns coherent."""
+        mb = int(mb)
+        if mb < 0:
+            raise AllocationError(f"negative lent {mb}MB on node {node}")
+        if mb + int(self.local_used_mb[node]) > int(self.capacity_mb[node]):
+            raise AllocationError(
+                f"node {node}: lent {mb}MB + local_used "
+                f"{int(self.local_used_mb[node])}MB exceeds capacity"
+            )
+        delta = mb - int(self.lent_mb[node])
+        if delta:
+            self._touch_lent(node, delta)
+            self._notify_demand([node])
 
     def free_local(self) -> np.ndarray:
         """Physically free DRAM per node (maintained read-only vector)."""
@@ -220,9 +284,61 @@ class Cluster:
             pass
 
     def _notify_demand(self, lenders: Sequence[int]) -> None:
-        if lenders:
-            for listener in self._demand_listeners:
-                listener(self, lenders)
+        if not lenders or not self._demand_listeners:
+            return
+        if self._deferred_demand is not None:
+            self._deferred_demand[0].update(lenders)
+            return
+        for listener in self._demand_listeners:
+            listener(self, lenders)
+
+    def _notify_job_demand(
+        self, jid: int, alloc: JobAllocation, extra: Sequence[int] = ()
+    ) -> None:
+        """All of ``alloc``'s lenders (plus ``extra``) may change demand.
+
+        A job's ``remote_fraction`` depends on its *total* allocation, so
+        any resize dirties every one of its lenders.  Inside a
+        :meth:`defer_demand` window the allocation itself is recorded and
+        expanded once at flush — turning the per-node O(lenders)
+        notifications of a multi-node resize into a single O(lenders)
+        pass per job.
+        """
+        if not self._demand_listeners:
+            return
+        deferred = self._deferred_demand
+        if deferred is not None:
+            deferred[0].update(extra)
+            deferred[1][jid] = alloc
+            return
+        dirty = list(alloc.lender_ids())
+        dirty.extend(extra)
+        self._notify_demand(dirty)
+
+    @contextmanager
+    def defer_demand(self):
+        """Coalesce demand notifications until the ``with`` block exits.
+
+        Within the window, dirtied lenders and resized allocations are
+        collected instead of notifying listeners per mutation; one
+        deduplicated, sorted notification fires at exit.  Reentrant: an
+        inner window defers to the outermost flush.  Callers must not
+        read listener-maintained state (e.g. the contention model's
+        ``lender_demand``) inside the window — it may be stale until the
+        flush.
+        """
+        if self._deferred_demand is not None or not self._demand_listeners:
+            yield
+            return
+        self._deferred_demand = (set(), {})
+        try:
+            yield
+        finally:
+            lenders, allocs = self._deferred_demand
+            self._deferred_demand = None
+            for alloc in allocs.values():
+                lenders.update(alloc.lender_ids())
+            self._notify_demand(sorted(lenders))
 
     # ------------------------------------------------------------------
     # Incremental ledger maintenance (every mutation funnels through here)
@@ -236,12 +352,61 @@ class Cluster:
             drop = len(log) // 2
             del log[:drop]
             self._free_log_base += drop
+            # Counted, not silent: consumers that fell behind the dropped
+            # prefix must full-rebuild; repro.obs samples this counter.
+            self.free_log_overflows += 1
+
+    def _log_free_many(self, nodes: Sequence[int]) -> None:
+        """Bulk :meth:`_log_free`: one generation bump per changed node.
+
+        Keeps the ``generation == _free_log_base + len(_free_log)``
+        arithmetic of the single-node path so index consumers can slice
+        the log by generation regardless of which path appended.
+        """
+        count = len(nodes)
+        self.generation += count
+        log = self._free_log
+        log.extend(nodes)
+        while len(log) > FREE_LOG_LIMIT:
+            drop = len(log) // 2
+            del log[:drop]
+            self._free_log_base += drop
+            self.free_log_overflows += 1
 
     def _touch_local(self, node: int, delta: int) -> None:
         self.local_used_mb[node] += delta
         self._free_local[node] -= delta
         self.local_used_total += delta
         self._log_free(node)
+
+    def _touch_local_many(self, nodes: np.ndarray, deltas: np.ndarray) -> None:
+        """Columnar bulk :meth:`_touch_local` (``nodes`` must be unique)."""
+        self.local_used_mb[nodes] += deltas
+        self._free_local[nodes] -= deltas
+        self.local_used_total += int(deltas.sum())
+        self._log_free_many(nodes.tolist())
+
+    def _touch_lent_many(self, nodes: np.ndarray, deltas: np.ndarray) -> None:
+        """Columnar bulk :meth:`_touch_lent` (``nodes`` must be unique).
+
+        Net-equivalent to per-node touches: lending moves monotonically
+        within one bulk call, so each node flips memory-node status at
+        most once either way.
+        """
+        self.lent_mb[nodes] += deltas
+        self._free_local[nodes] -= deltas
+        self.lent_total += int(deltas.sum())
+        self._log_free_many(nodes.tolist())
+        new_mem = self.lent_mb[nodes] * 2 > self.capacity_mb[nodes]
+        flipped = new_mem != self._memnode[nodes]
+        if flipped.any():
+            flip_nodes = nodes[flipped]
+            now_mem = new_mem[flipped]
+            self._memnode[flip_nodes] = now_mem
+            self.memory_node_count += int(now_mem.sum()) - int((~now_mem).sum())
+            idle = ~self.busy[flip_nodes]
+            self.startable_count += int((idle & ~now_mem).sum())
+            self.startable_count -= int((idle & now_mem).sum())
 
     def _touch_lent(self, node: int, delta: int) -> None:
         self.lent_mb[node] += delta
@@ -284,21 +449,38 @@ class Cluster:
     def _apply(self, jid: int, alloc: JobAllocation) -> None:
         if jid in self.allocations:
             raise AllocationError(f"job {jid} already has an allocation")
-        # Validate before mutating anything.
-        for node in alloc.nodes:
-            if self.busy[node]:
-                raise AllocationError(f"node {node} is busy (job {jid})")
+        nodes_arr = np.asarray(alloc.nodes, dtype=np.int64)
+        node_set = set(alloc.nodes)
+        # Validate before mutating anything (vectorised happy path; the
+        # scalar loops only re-run to name the offending node).
+        if self.busy[nodes_arr].any():
+            for node in alloc.nodes:
+                if self.busy[node]:
+                    raise AllocationError(f"node {node} is busy (job {jid})")
         free = self.free_local()
-        for node, mb in alloc.local_mb.items():
-            if mb < 0 or node not in alloc.nodes:
-                raise AllocationError(f"bad local allocation {mb}MB on node {node}")
-            if mb > free[node]:
-                raise AllocationError(
-                    f"node {node} has {free[node]}MB free, need {mb}MB (job {jid})"
-                )
+        local_nodes = local_mbs = None
+        if alloc.local_mb:
+            k = len(alloc.local_mb)
+            local_nodes = np.fromiter(alloc.local_mb.keys(), np.int64, k)
+            local_mbs = np.fromiter(alloc.local_mb.values(), np.int64, k)
+            if (
+                (local_mbs < 0).any()
+                or not node_set.issuperset(alloc.local_mb)
+                or (local_mbs > free[local_nodes]).any()
+            ):
+                for node, mb in alloc.local_mb.items():
+                    if mb < 0 or node not in node_set:
+                        raise AllocationError(
+                            f"bad local allocation {mb}MB on node {node}"
+                        )
+                    if mb > free[node]:
+                        raise AllocationError(
+                            f"node {node} has {free[node]}MB free, "
+                            f"need {mb}MB (job {jid})"
+                        )
         borrow_totals: Dict[int, int] = {}
         for node, lender_map in alloc.remote_mb.items():
-            if node not in alloc.nodes:
+            if node not in node_set:
                 raise AllocationError(f"remote map for non-compute node {node}")
             for lender, mb in lender_map.items():
                 if mb <= 0:
@@ -316,16 +498,27 @@ class Cluster:
                 raise AllocationError(
                     f"lender {lender} has {lendable}MB lendable, need {mb}MB"
                 )
-        # Commit.
-        for node in alloc.nodes:
-            self._set_busy(node, jid)
-        for node, mb in alloc.local_mb.items():
-            self._touch_local(node, mb)
-        for lender, mb in borrow_totals.items():
-            self._touch_lent(lender, mb)
-            self.lender_jobs[lender][jid] = (
-                self.lender_jobs[lender].get(jid, 0) + mb
+        # Commit (columnar bulk writes; node lists are unique by
+        # construction so fancy-indexed updates are exact).
+        self.busy[nodes_arr] = True
+        self.job_on_node[nodes_arr] = jid
+        self.busy_count += len(nodes_arr)
+        self.busy_large_count += int(self.is_large[nodes_arr].sum())
+        self.startable_count -= int((~self._memnode[nodes_arr]).sum())
+        if local_nodes is not None:
+            self._touch_local_many(local_nodes, local_mbs)
+        if borrow_totals:
+            k = len(borrow_totals)
+            self._touch_lent_many(
+                np.fromiter(borrow_totals.keys(), np.int64, k),
+                np.fromiter(borrow_totals.values(), np.int64, k),
             )
+            for lender, mb in borrow_totals.items():
+                self.lender_jobs[lender][jid] = (
+                    self.lender_jobs[lender].get(jid, 0) + mb
+                )
+        for node, lender_map in alloc.remote_mb.items():
+            self.remote_held_mb[node] += sum(lender_map.values())
         self.allocations[jid] = alloc
         alloc._seal()
         self._notify_demand(list(borrow_totals))
@@ -339,28 +532,47 @@ class Cluster:
         alloc = self.allocations.pop(jid, None)
         if alloc is None:
             raise AllocationError(f"job {jid} has no allocation to release")
-        for node in alloc.nodes:
-            self._set_idle(node)
-        for node, mb in alloc.local_mb.items():
-            self._touch_local(node, -mb)
+        nodes_arr = alloc.nodes_array()
+        self.busy[nodes_arr] = False
+        self.job_on_node[nodes_arr] = -1
+        self.busy_count -= len(nodes_arr)
+        self.busy_large_count -= int(self.is_large[nodes_arr].sum())
+        self.startable_count += int((~self._memnode[nodes_arr]).sum())
+        if alloc.local_mb:
+            k = len(alloc.local_mb)
+            self._touch_local_many(
+                np.fromiter(alloc.local_mb.keys(), np.int64, k),
+                -np.fromiter(alloc.local_mb.values(), np.int64, k),
+            )
         released_lenders: List[int] = []
-        for node, lender_map in alloc.remote_mb.items():
-            for lender, mb in lender_map.items():
-                self._touch_lent(lender, -mb)
+        if alloc.remote_mb:
+            lender_totals = alloc._lender_mb
+            if lender_totals is None:  # unsealed: aggregate brute-force
+                lender_totals = dict(alloc.lenders())
+            k = len(lender_totals)
+            self._touch_lent_many(
+                np.fromiter(lender_totals.keys(), np.int64, k),
+                -np.fromiter(lender_totals.values(), np.int64, k),
+            )
+            for lender, mb in lender_totals.items():
                 rec = self.lender_jobs[lender]
                 rec[jid] -= mb
                 if rec[jid] <= 0:
                     del rec[jid]
-                released_lenders.append(lender)
+            released_lenders = list(lender_totals)
+            for node, lender_map in alloc.remote_mb.items():
+                self.remote_held_mb[node] -= sum(lender_map.values())
         self._notify_demand(released_lenders)
         return alloc
 
     # ------------------------------------------------------------------
     # Incremental resizing (dynamic policy)
     # ------------------------------------------------------------------
-    def grow_local(self, jid: int, node: int, mb: int) -> None:
+    def grow_local(self, jid: int, node: int, mb: int,
+        alloc: Optional[JobAllocation] = None) -> None:
         """Give job ``jid`` ``mb`` more local DRAM on ``node``."""
-        alloc = self._alloc_of(jid, node)
+        if alloc is None:
+            alloc = self._alloc_of(jid, node)
         if mb <= 0:
             raise AllocationError(f"grow_local needs positive MB, got {mb}")
         free = int(self._free_local[node])
@@ -372,11 +584,13 @@ class Cluster:
         # The job's total allocation changed, so its remote fraction —
         # and with it the demand it places on every one of its lenders —
         # changed too.
-        self._notify_demand([lender for lender, _ in alloc.lenders()])
+        self._notify_job_demand(jid, alloc)
 
-    def shrink_local(self, jid: int, node: int, mb: int) -> None:
+    def shrink_local(self, jid: int, node: int, mb: int,
+        alloc: Optional[JobAllocation] = None) -> None:
         """Take ``mb`` of local DRAM on ``node`` back from job ``jid``."""
-        alloc = self._alloc_of(jid, node)
+        if alloc is None:
+            alloc = self._alloc_of(jid, node)
         have = alloc.local_mb.get(node, 0)
         if mb <= 0 or mb > have:
             raise AllocationError(
@@ -385,11 +599,13 @@ class Cluster:
         self._touch_local(node, -mb)
         alloc.local_mb[node] = have - mb
         alloc._bump_local(-mb)
-        self._notify_demand([lender for lender, _ in alloc.lenders()])
+        self._notify_job_demand(jid, alloc)
 
-    def add_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
+    def add_remote(self, jid: int, node: int, lender: int, mb: int,
+        alloc: Optional[JobAllocation] = None) -> None:
         """Borrow ``mb`` from ``lender`` on behalf of compute node ``node``."""
-        alloc = self._alloc_of(jid, node)
+        if alloc is None:
+            alloc = self._alloc_of(jid, node)
         if mb <= 0:
             raise AllocationError(f"add_remote needs positive MB, got {mb}")
         if lender == node:
@@ -399,14 +615,17 @@ class Cluster:
             raise AllocationError(f"lender {lender}: {free}MB free, need {mb}MB")
         self._touch_lent(lender, mb)
         self.lender_jobs[lender][jid] = self.lender_jobs[lender].get(jid, 0) + mb
+        self.remote_held_mb[node] += mb
         node_map = alloc.remote_mb.setdefault(node, {})
         node_map[lender] = node_map.get(lender, 0) + mb
-        alloc._bump_remote(node, mb)
-        self._notify_demand([ln for ln, _ in alloc.lenders()])
+        alloc._bump_remote(node, lender, mb)
+        self._notify_job_demand(jid, alloc)
 
-    def remove_remote(self, jid: int, node: int, lender: int, mb: int) -> None:
+    def remove_remote(self, jid: int, node: int, lender: int, mb: int,
+        alloc: Optional[JobAllocation] = None) -> None:
         """Return ``mb`` borrowed from ``lender`` for compute node ``node``."""
-        alloc = self._alloc_of(jid, node)
+        if alloc is None:
+            alloc = self._alloc_of(jid, node)
         node_map = alloc.remote_mb.get(node, {})
         have = node_map.get(lender, 0)
         if mb <= 0 or mb > have:
@@ -418,23 +637,22 @@ class Cluster:
         rec[jid] -= mb
         if rec[jid] <= 0:
             del rec[jid]
+        self.remote_held_mb[node] -= mb
         node_map[lender] = have - mb
         if node_map[lender] == 0:
             del node_map[lender]
         if not node_map and node in alloc.remote_mb:
             del alloc.remote_mb[node]
-        alloc._bump_remote(node, -mb)
+        alloc._bump_remote(node, lender, -mb)
         # ``lender`` may no longer appear in the job's lender set; include
         # it explicitly so its demand entry is invalidated.
-        dirty = [ln for ln, _ in alloc.lenders()]
-        dirty.append(lender)
-        self._notify_demand(dirty)
+        self._notify_job_demand(jid, alloc, extra=(lender,))
 
     def _alloc_of(self, jid: int, node: int) -> JobAllocation:
         alloc = self.allocations.get(jid)
         if alloc is None:
             raise AllocationError(f"job {jid} is not allocated")
-        if node not in alloc.nodes:
+        if not alloc.has_node(node):
             raise AllocationError(f"node {node} is not a compute node of job {jid}")
         return alloc
 
@@ -467,11 +685,10 @@ class Cluster:
                 raise AllocationError(
                     f"incremental aggregate {name}={have} != recomputed {want}"
                 )
-        fresh_free = self.capacity_mb - self.local_used_mb - self.lent_mb
-        if not np.array_equal(self._free_local, fresh_free):
-            raise AllocationError("maintained free_local vector out of sync")
-        if not np.array_equal(self._memnode, self.lent_mb * 2 > self.capacity_mb):
-            raise AllocationError("maintained memory-node mask out of sync")
+        try:
+            self.columns.validate()
+        except ValueError as exc:
+            raise AllocationError(str(exc)) from exc
 
     def check_invariants(self) -> None:
         """Raise :class:`AllocationError` if any ledger invariant is broken."""
@@ -482,6 +699,7 @@ class Cluster:
         # Cross-check allocations against ledgers.
         local = np.zeros(self.n_nodes, dtype=np.int64)
         lent = np.zeros(self.n_nodes, dtype=np.int64)
+        held = np.zeros(self.n_nodes, dtype=np.int64)
         busy_nodes: set[int] = set()
         # Per (lender, job) borrowed MB rebuilt from the allocation records,
         # compared exactly against ``lender_jobs`` below.
@@ -503,12 +721,17 @@ class Cluster:
             for node, lender_map in alloc.remote_mb.items():
                 for lender, mb in lender_map.items():
                     lent[lender] += mb
+                    held[node] += mb
                     per_lender = expected_lender_jobs.setdefault(lender, {})
                     per_lender[jid] = per_lender.get(jid, 0) + mb
         if not np.array_equal(local, self.local_used_mb):
             raise AllocationError("local_used ledger out of sync with allocations")
         if not np.array_equal(lent, self.lent_mb):
             raise AllocationError("lent ledger out of sync with allocations")
+        if not np.array_equal(held, self.remote_held_mb):
+            raise AllocationError(
+                "remote_held column out of sync with allocations"
+            )
         if busy_nodes != set(np.flatnonzero(self.busy)):
             raise AllocationError("busy mask out of sync with allocations")
         for lender, rec in enumerate(self.lender_jobs):

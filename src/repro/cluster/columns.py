@@ -1,0 +1,126 @@
+"""Struct-of-arrays storage for per-node cluster state.
+
+:class:`NodeColumns` owns one numpy array per node attribute — the
+*columnar core* the rest of :mod:`repro.cluster` is built on.  The
+authoritative write path stays in :class:`~repro.cluster.cluster.Cluster`
+(whose mutators keep the O(1) aggregates, generation stamp and demand
+listeners coherent); this module only provides the storage layout plus
+whole-state operations that are natural on arrays:
+
+* :meth:`NodeColumns.snapshot` / :meth:`NodeColumns.restore` — O(columns)
+  ``np.copy`` of the full per-node state, the primitive behind cheap
+  what-if forks (ROADMAP item 5).  ``restore`` writes **in place** so
+  every alias and read-only view held by ``Cluster`` (and any
+  :class:`~repro.cluster.node.Node` view) stays valid across it.
+* :meth:`NodeColumns.validate` — brute-force coherence check of the
+  derived columns (``free_local``, ``memnode``) against the primary
+  ledgers, used by ``Cluster.check_invariants``.
+
+Array layout (all length ``n_nodes``, fixed dtypes):
+
+==================  =========  ===============================================
+column              dtype      meaning
+==================  =========  ===============================================
+``capacity_mb``     int64      DRAM capacity (immutable after construction)
+``is_large``        bool       large-capacity node class (immutable)
+``local_used_mb``   int64      DRAM used by the job running *on* the node
+``lent_mb``         int64      DRAM lent to jobs on *other* nodes
+``remote_held_mb``  int64      DRAM the job on this node borrows from others
+``busy``            bool       a job currently runs on the node
+``job_on_node``     int64      that job's id (-1 when idle)
+``free_local``      int64      derived: ``capacity - local_used - lent``
+``memnode``         bool       derived: ``lent * 2 > capacity``
+==================  =========  ===============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["NodeColumns"]
+
+#: Mutable per-node columns captured by snapshot/restore, in a fixed
+#: order (capacity/is_large are immutable and shared, not copied).
+MUTABLE_COLUMNS = (
+    "local_used_mb",
+    "lent_mb",
+    "remote_held_mb",
+    "busy",
+    "job_on_node",
+    "free_local",
+    "memnode",
+)
+
+
+class NodeColumns:
+    """Parallel per-node arrays: the cluster's columnar node store."""
+
+    __slots__ = (
+        "n_nodes",
+        "capacity_mb",
+        "is_large",
+        "local_used_mb",
+        "lent_mb",
+        "remote_held_mb",
+        "busy",
+        "job_on_node",
+        "free_local",
+        "memnode",
+    )
+
+    def __init__(self, capacity_mb: np.ndarray, is_large: np.ndarray):
+        n = len(capacity_mb)
+        if len(is_large) != n:
+            raise ValueError(
+                f"column length mismatch: capacity_mb has {n} entries, "
+                f"is_large has {len(is_large)}"
+            )
+        self.n_nodes = n
+        self.capacity_mb = np.ascontiguousarray(capacity_mb, dtype=np.int64)
+        self.is_large = np.ascontiguousarray(is_large, dtype=bool)
+        self.local_used_mb = np.zeros(n, dtype=np.int64)
+        self.lent_mb = np.zeros(n, dtype=np.int64)
+        self.remote_held_mb = np.zeros(n, dtype=np.int64)
+        self.busy = np.zeros(n, dtype=bool)
+        self.job_on_node = np.full(n, -1, dtype=np.int64)
+        self.free_local = self.capacity_mb.copy()
+        self.memnode = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Whole-state operations (the COW-snapshot primitive)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copies of every mutable column (a handful of ``np.copy`` calls)."""
+        return {name: getattr(self, name).copy() for name in MUTABLE_COLUMNS}
+
+    def restore(self, snap: Dict[str, np.ndarray]) -> None:
+        """Write ``snap`` back **in place**, keeping aliases/views valid."""
+        for name in MUTABLE_COLUMNS:
+            dst = getattr(self, name)
+            src = snap[name]
+            if len(src) != len(dst):
+                raise ValueError(
+                    f"snapshot column '{name}' has {len(src)} entries, "
+                    f"store has {len(dst)}"
+                )
+            dst[:] = src
+
+    # ------------------------------------------------------------------
+    # Brute-force coherence of the derived columns
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` if a derived column drifted from the ledgers."""
+        fresh_free = self.capacity_mb - self.local_used_mb - self.lent_mb
+        if not np.array_equal(self.free_local, fresh_free):
+            raise ValueError("free_local column out of sync with the ledgers")
+        if not np.array_equal(self.memnode, self.lent_mb * 2 > self.capacity_mb):
+            raise ValueError("memnode column out of sync with lent_mb")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NodeColumns(n={self.n_nodes}, busy={int(self.busy.sum())}, "
+            f"local={int(self.local_used_mb.sum())}MB, "
+            f"lent={int(self.lent_mb.sum())}MB)"
+        )

@@ -67,10 +67,15 @@ class SortedFreeIndex:
     def _rebuild(self) -> None:
         keys = self._key_of(np.asarray(self.cluster.free_local()))
         order = np.argsort(keys, kind="stable")
+        order.flags.writeable = False
         self._nodes = order
         self._keys = keys[order]
         self._node_key = keys
         self.rebuilds += 1
+
+    #: Dirty counts up to this use the segment-merge splice; above it the
+    #: masked bulk splice wins (fewer, larger vector ops).
+    _SEGMENT_SPLICE_LIMIT = 12
 
     @staticmethod
     def _reinsert(
@@ -84,33 +89,79 @@ class SortedFreeIndex:
 
         Returns the updated ``(keys, nodes)`` arrays, or ``None`` when the
         old entries cannot be located (caller re-sorts from scratch).
+
+        Both splice strategies produce exactly what the former
+        ``np.delete`` + ``np.insert`` pair did (the parity suite checks
+        the synced order against a fresh stable argsort), they just skip
+        its per-call overhead: four generic array rebuilds become one
+        output allocation per array filled by segment copies (small dirty
+        sets) or shared-mask scatter/gather (large ones).
         """
+        n = len(nodes)
         changed_arr = np.asarray(changed, dtype=np.int64)
         old_keys = node_key[changed_arr]
         pos = np.searchsorted(keys, old_keys)
         # Keys are unique, so each position is exact; guard regardless.
-        if pos.max(initial=-1) >= len(nodes) or not np.array_equal(
+        if pos.max(initial=-1) >= n or not np.array_equal(
             nodes[pos], changed_arr
         ):
             return None
-        keys = np.delete(keys, pos)
-        nodes = np.delete(nodes, pos)
-        # np.insert places same-position values in argument order, so the
-        # new entries must arrive key-ascending to keep the array sorted.
-        by_key = np.argsort(new_keys, kind="stable")
-        new_keys = new_keys[by_key]
-        changed_arr = changed_arr[by_key]
-        ins = np.searchsorted(keys, new_keys)
-        return np.insert(keys, ins, new_keys), np.insert(nodes, ins, changed_arr)
+        k = len(changed_arr)
+        out_keys = np.empty(n, dtype=keys.dtype)
+        out_nodes = np.empty(n, dtype=nodes.dtype)
+        if k <= SortedFreeIndex._SEGMENT_SPLICE_LIMIT:
+            # Merge walk: copy the unchanged stretches between events with
+            # slice assignments (memcpy), weaving deletions/insertions in.
+            # ``ins_orig`` positions are relative to the *original* array;
+            # skipping deleted entries during the walk lands each new key
+            # at the same place a post-deletion searchsorted would.
+            ins_orig = np.searchsorted(keys, new_keys)
+            events = [(int(p), 0, 0, 0) for p in pos]
+            events += [
+                (int(o), 1, int(nk), int(nn))
+                for o, nk, nn in zip(ins_orig, new_keys, changed_arr)
+            ]
+            events.sort()
+            src = dst = 0
+            for coord, kind, nk, nn in events:
+                seg = coord - src
+                if seg > 0:
+                    out_keys[dst:dst + seg] = keys[src:src + seg]
+                    out_nodes[dst:dst + seg] = nodes[src:src + seg]
+                    dst += seg
+                    src += seg
+                if kind == 0:
+                    src += 1
+                else:
+                    out_keys[dst] = nk
+                    out_nodes[dst] = nn
+                    dst += 1
+            out_keys[dst:] = keys[src:]
+            out_nodes[dst:] = nodes[src:]
+        else:
+            keep = np.ones(n, dtype=bool)
+            keep[pos] = False
+            kept_keys = keys[keep]
+            kept_nodes = nodes[keep]
+            by_key = np.argsort(new_keys, kind="stable")
+            new_keys = new_keys[by_key]
+            new_nodes = changed_arr[by_key]
+            fin = np.searchsorted(kept_keys, new_keys) + np.arange(k)
+            mask = np.ones(n, dtype=bool)
+            mask[fin] = False
+            out_keys[fin] = new_keys
+            out_nodes[fin] = new_nodes
+            out_keys[mask] = kept_keys
+            out_nodes[mask] = kept_nodes
+        return out_keys, out_nodes
 
     def _repair(self, dirty: List[int]) -> None:
-        free = self.cluster.free_local()
+        free = np.asarray(self.cluster.free_local())
         n = self.cluster.n_nodes
         sign = -1 if self.descending else 1
         changed = sorted(set(dirty))
-        new_keys = np.asarray(
-            [sign * int(free[c]) * n + c for c in changed], dtype=np.int64
-        )
+        changed_arr = np.asarray(changed, dtype=np.int64)
+        new_keys = sign * free[changed_arr] * n + changed_arr
         repaired = self._reinsert(
             self._keys, self._nodes, self._node_key, changed, new_keys
         )
@@ -118,7 +169,8 @@ class SortedFreeIndex:
             self._rebuild()
             return
         self._keys, self._nodes = repaired
-        self._node_key[changed] = new_keys
+        self._nodes.flags.writeable = False
+        self._node_key[changed_arr] = new_keys
         self.repairs += 1
 
     def nodes_with_overrides(self, free_override: Dict[int, int]) -> np.ndarray:
@@ -135,10 +187,11 @@ class SortedFreeIndex:
         n = self.cluster.n_nodes
         sign = -1 if self.descending else 1
         changed = sorted(free_override)
-        new_keys = np.asarray(
-            [sign * int(free_override[c]) * n + c for c in changed],
-            dtype=np.int64,
+        changed_arr = np.asarray(changed, dtype=np.int64)
+        override_vals = np.asarray(
+            [free_override[c] for c in changed], dtype=np.int64
         )
+        new_keys = sign * override_vals * n + changed_arr
         repaired = self._reinsert(
             self._keys, self._nodes, self._node_key, changed, new_keys
         )

@@ -117,7 +117,11 @@ class Telemetry:
         self.registry.observe("resize_mb", mb, RESIZE_BUCKETS_MB)
 
     def sample_cluster(self, now: float, controller) -> None:
-        """Record the gauge set and append one time-series row block."""
+        """Record the gauge set and append one time-series row block.
+
+        All cluster-side values are O(1) reads of the columnar store's
+        incremental aggregates — sampling never scans the node arrays.
+        """
         reg = self.registry
         c = controller.cluster
         reg.set_gauge("pool_free_local_mb", c.free_local_total, now)
@@ -127,6 +131,22 @@ class Telemetry:
         reg.set_gauge("running_jobs", len(controller.running), now)
         reg.set_gauge("memory_node_count", c.memory_node_count, now)
         reg.set_gauge("busy_nodes", c.busy_count, now)
+        reg.set_gauge("startable_nodes", c.startable_count, now)
+        # Delta-log overflows force full index re-sorts; a non-zero rate
+        # here says FREE_LOG_LIMIT is undersized for the workload.
+        reg.set_gauge("free_log_overflows", c.free_log_overflows, now)
+        pool = getattr(controller.policy, "pool", None)
+        if pool is not None:
+            reg.set_gauge(
+                "free_index_rebuilds",
+                pool.free_index.rebuilds + pool.bestfit_index.rebuilds,
+                now,
+            )
+            reg.set_gauge(
+                "free_index_repairs",
+                pool.free_index.repairs + pool.bestfit_index.repairs,
+                now,
+            )
         reg.sample(now)
 
     # ------------------------------------------------------------------

@@ -21,7 +21,9 @@ resized.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..cluster.allocation import JobAllocation
 from ..cluster.cluster import Cluster
@@ -77,6 +79,9 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         self._pinned: Set[int] = set()
         #: highest per-node demand seen before each job's OOM kills
         self._observed_peak: dict[int, int] = {}
+        #: per-job rank-scale vector aligned with ``alloc.nodes`` (a
+        #: job's node_scale never changes, so this is computed once)
+        self._rank_scale_cache: Dict[int, Optional[np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     def _request_of(self, job: Job) -> int:
@@ -97,6 +102,7 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
     def on_finish(self, job: Job) -> None:
         self._pinned.discard(job.jid)
         self._observed_peak.pop(job.jid, None)
+        self._rank_scale_cache.pop(job.jid, None)
 
     # ------------------------------------------------------------------
     def update(self, job: Job, progress: float, window: float) -> UpdateOutcome:
@@ -140,6 +146,20 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
             self._observed_peak[job.jid] = reference
         return reference
 
+    def _rank_scales(self, job: Job, n_ranks: int) -> Optional[np.ndarray]:
+        """Rank-scale vector for ``job`` (``None`` = uniform 1.0)."""
+        try:
+            return self._rank_scale_cache[job.jid]
+        except KeyError:
+            pass
+        if job.node_scale is None:
+            scales = None
+        else:
+            base = np.asarray(job.node_scale, dtype=np.float64)
+            scales = base[np.arange(n_ranks) % len(base)]
+        self._rank_scale_cache[job.jid] = scales
+        return scales
+
     def _decide(self, job: Job, alloc: JobAllocation,
                 reference: int) -> List[Tuple[int, int]]:
         """Decider: per-node (node, delta MB) resize decisions.
@@ -147,26 +167,42 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         Pure read of the job's own allocation — actuating one node never
         changes another node's ``total_on``, so deciding everything
         up-front is equivalent to the interleaved decide/act loop.
+
+        Vectorised over the columnar store: a job's per-node totals are
+        exactly ``local_used_mb + remote_held_mb`` on its (CPU-exclusive)
+        nodes, and ``np.rint`` rounds half-to-even like ``round``, so the
+        demands are bit-identical to the former per-rank loop.
         """
-        deltas: List[Tuple[int, int]] = []
-        for rank, node in enumerate(alloc.nodes):
+        nodes = alloc.nodes_array()
+        scales = self._rank_scales(job, len(nodes))
+        if scales is None:
+            demands = np.full(len(nodes), reference, dtype=np.int64)
+        else:
             # Per-node demand: the Monitor reports each node separately
             # (paper Fig. 1a); ranks may have imbalanced footprints.
-            demand = int(round(reference * job.rank_scale(rank)))
-            delta = demand - alloc.total_on(node)
-            if delta != 0:
-                deltas.append((node, delta))
-        return deltas
+            demands = np.rint(reference * scales).astype(np.int64)
+        c = self.cluster
+        totals = c.local_used_mb[nodes] + c.remote_held_mb[nodes]
+        delta_arr = demands - totals
+        (nz,) = np.nonzero(delta_arr)
+        return [(int(nodes[i]), int(delta_arr[i])) for i in nz]
 
     def _actuate(self, jid: int, alloc: JobAllocation,
                  deltas: List[Tuple[int, int]], out: UpdateOutcome) -> None:
-        """Actuator: apply the decided resizes, in node order."""
-        for node, delta in deltas:
-            if delta < 0:
-                self._shrink(jid, alloc, node, -delta, out)
-            elif not self._grow(jid, alloc, node, delta, out):
-                out.oom = True
-                return
+        """Actuator: apply the decided resizes, in node order.
+
+        The whole window runs under ``defer_demand`` so the per-mutation
+        demand notifications collapse into one flush — the contention
+        model reprices after the update returns, so nothing reads lender
+        demand mid-window.
+        """
+        with self.cluster.defer_demand():
+            for node, delta in deltas:
+                if delta < 0:
+                    self._shrink(jid, alloc, node, -delta, out)
+                elif not self._grow(jid, alloc, node, delta, out):
+                    out.oom = True
+                    return
 
     # ------------------------------------------------------------------
     def _shrink(
@@ -174,22 +210,23 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
     ) -> None:
         """Release ``excess`` MB on ``node``: remote first, then local."""
         c = self.cluster
-        remote_map = alloc.remote_mb.get(node, {})
-        # Release from the most-loaded lenders first so memory nodes
-        # recover their ability to start jobs sooner.
-        for lender in sorted(remote_map, key=lambda l: -remote_map[l]):
-            if excess <= 0:
-                break
-            give = min(remote_map[lender], excess)
-            c.remove_remote(jid, node, lender, give)
-            out.freed_mb += give
-            out.touched_nodes.append(lender)
-            excess -= give
+        remote_map = alloc.remote_mb.get(node)
+        if remote_map:
+            # Release from the most-loaded lenders first so memory nodes
+            # recover their ability to start jobs sooner.
+            for lender in sorted(remote_map, key=lambda l: -remote_map[l]):
+                if excess <= 0:
+                    break
+                give = min(remote_map[lender], excess)
+                c.remove_remote(jid, node, lender, give, alloc=alloc)
+                out.freed_mb += give
+                out.touched_nodes.append(lender)
+                excess -= give
         if excess > 0:
             local = alloc.local_mb.get(node, 0)
             give = min(local, excess)
             if give > 0:
-                c.shrink_local(jid, node, give)
+                c.shrink_local(jid, node, give, alloc=alloc)
                 out.freed_mb += give
                 out.touched_nodes.append(node)
 
@@ -206,7 +243,7 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         )
         take = min(free_local, deficit)
         if take > 0:
-            c.grow_local(jid, node, take)
+            c.grow_local(jid, node, take, alloc=alloc)
             out.grown_mb += take
             out.touched_nodes.append(node)
             deficit -= take
@@ -217,7 +254,7 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         if plan is None:
             return False
         for lender, mb in plan:
-            c.add_remote(jid, node, lender, mb)
+            c.add_remote(jid, node, lender, mb, alloc=alloc)
             out.grown_mb += mb
             out.touched_nodes.append(lender)
         return True

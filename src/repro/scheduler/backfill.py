@@ -76,10 +76,9 @@ def shadow_time(
             nodes += len(alloc.nodes)
             mem += alloc.total()
             if not disaggregated:
-                fitting += sum(
-                    1
-                    for n in alloc.nodes
-                    if c.capacity_mb[n] >= blocked.mem_request_mb
+                fitting += int(
+                    (c.capacity_mb[alloc.nodes_array()]
+                     >= blocked.mem_request_mb).sum()
                 )
             if feasible(nodes, mem, fitting):
                 return expected_finish(job, now)

@@ -183,7 +183,7 @@ class Controller:
                            f"runtime={now - (job.start_time or now):.0f}s")
         self.result.records.append(self._record_of(job, now))
         self.result.makespan = max(self.result.makespan, now)
-        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        touched = list(alloc.nodes) + list(alloc.lender_ids())
         self._reprice(self.model.affected_jobs(self.cluster, touched), now)
         self._dirty = True
         self._request_sched(now)
@@ -340,7 +340,7 @@ class Controller:
                 now + job.walltime_limit, EventKind.JOB_KILL, job
             )
         # New borrowings may add contention on shared lenders.
-        touched = [lender for lender, _ in alloc.lenders()]
+        touched = list(alloc.lender_ids())
         if touched:
             others = self.model.affected_jobs(self.cluster, touched)
             others.discard(job.jid)
@@ -371,7 +371,7 @@ class Controller:
         self.result.timeouts += 1
         self.result.records.append(self._record_of(job, now))
         self.result.makespan = max(self.result.makespan, now)
-        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        touched = list(alloc.nodes) + list(alloc.lender_ids())
         self._reprice(self.model.affected_jobs(self.cluster, touched), now)
         self._dirty = True
         self._request_sched(now)
@@ -400,7 +400,7 @@ class Controller:
         job.reset_for_restart(now, keep_checkpoint=keep, keep_priority=boost,
                               checkpoint_quantum=quantum)
         self.pending.add(job)
-        touched = list(alloc.nodes) + [lender for lender, _ in alloc.lenders()]
+        touched = list(alloc.nodes) + list(alloc.lender_ids())
         return self.model.affected_jobs(self.cluster, touched)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Optional, Sequence, Set
 
+import numpy as np
+
 from ..cluster.allocation import JobAllocation
 from ..cluster.cluster import Cluster
 from ..jobs.job import Job
@@ -214,14 +216,21 @@ class ContentionModel:
         """Job ids whose slowdown may change when ``touched_nodes`` change.
 
         These are the borrowers of every touched lender, plus the jobs
-        running on the touched nodes themselves.
+        running on the touched nodes themselves.  The running-job part is
+        one gather over the ``job_on_node`` column; only nodes with an
+        actual borrower record cost a per-node set update.
         """
-        out: Set[int] = set()
-        for node in touched_nodes:
-            out.update(cluster.borrowers_of(node).keys())
-            jid = int(cluster.job_on_node[node])
-            if jid >= 0:
-                out.add(jid)
+        nodes = list(touched_nodes)
+        if not nodes:
+            return set()
+        arr = np.asarray(nodes, dtype=np.int64)
+        jids = cluster.job_on_node[arr]
+        out: Set[int] = set(jids[jids >= 0].tolist())
+        lender_jobs = cluster.lender_jobs
+        for node in nodes:
+            rec = lender_jobs[node]
+            if rec:
+                out.update(rec)
         return out
 
 

@@ -256,6 +256,69 @@ def test_inv102_silent_free_vector_write():
     assert len(hits) == 1
 
 
+def test_inv101_flags_columnar_remote_held_poke():
+    sources = {
+        "repro/cluster/led.py": _OWNER_MODULE.replace(
+            "self.lent_mb = [0] * n",
+            "self.lent_mb = [0] * n\n        self.remote_held_mb = [0] * n",
+        ),
+        "repro/policies/poke.py": (
+            "from repro.cluster.led import Led\n"
+            "\n"
+            "def steal(led: Led, node, mb):\n"
+            "    led.remote_held_mb[node] -= mb\n"
+        ),
+    }
+    hits = findings_for(sources, "INV101")
+    assert len(hits) == 1
+    assert hits[0].path == "repro/policies/poke.py"
+
+
+def test_inv102_bulk_sink_is_clean():
+    """Fancy-indexed column writes that log through _log_free_many (the
+    columnar bulk sink) satisfy INV102 like the scalar _log_free path."""
+    sources = {
+        "repro/cluster/led.py": (
+            "class Led:\n"
+            "    def __init__(self, n):\n"
+            "        self.local_used_mb = [0] * n\n"
+            "        self.generation = 0\n"
+            "\n"
+            "    def _log_free_many(self, nodes):\n"
+            "        self.generation += len(nodes)\n"
+            "\n"
+            "    def touch_many(self, nodes, deltas):\n"
+            "        self.local_used_mb[nodes] += deltas\n"
+            "        self._log_free_many(nodes)\n"
+            "\n"
+            "    def check_invariants(self):\n"
+            "        pass\n"
+        ),
+    }
+    assert findings_for(sources, "INV102") == []
+
+
+def test_inv102_bulk_write_without_any_sink_fires():
+    sources = {
+        "repro/cluster/led.py": (
+            "class Led:\n"
+            "    def __init__(self, n):\n"
+            "        self.local_used_mb = [0] * n\n"
+            "        self.generation = 0\n"
+            "\n"
+            "    def _log_free_many(self, nodes):\n"
+            "        self.generation += len(nodes)\n"
+            "\n"
+            "    def touch_many(self, nodes, deltas):\n"
+            "        self.local_used_mb[nodes] += deltas\n"
+            "\n"
+            "    def check_invariants(self):\n"
+            "        pass\n"
+        ),
+    }
+    assert len(findings_for(sources, "INV102")) == 1
+
+
 def test_inv103_silent_lender_write():
     sources = {
         "repro/cluster/led.py": (

@@ -1,0 +1,95 @@
+"""Unit tests for the struct-of-arrays node store (NodeColumns)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import JobAllocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.columns import MUTABLE_COLUMNS, NodeColumns
+
+
+@pytest.fixture
+def cluster(small_config):
+    return Cluster(small_config)
+
+
+def test_cluster_attributes_alias_the_columns(cluster):
+    c = cluster.columns
+    assert cluster.capacity_mb is c.capacity_mb
+    assert cluster.is_large is c.is_large
+    assert cluster.local_used_mb is c.local_used_mb
+    assert cluster.lent_mb is c.lent_mb
+    assert cluster.remote_held_mb is c.remote_held_mb
+    assert cluster.busy is c.busy
+    assert cluster.job_on_node is c.job_on_node
+
+
+def test_fresh_columns_are_idle(cluster):
+    c = cluster.columns
+    assert not c.busy.any()
+    assert (c.job_on_node == -1).all()
+    assert np.array_equal(c.free_local, c.capacity_mb)
+    assert not c.memnode.any()
+    c.validate()
+
+
+def test_column_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="length mismatch"):
+        NodeColumns(np.zeros(4, dtype=np.int64), np.zeros(3, dtype=bool))
+
+
+# ----------------------------------------------------------------------
+# snapshot / restore — the what-if fork primitive
+# ----------------------------------------------------------------------
+def test_snapshot_restore_round_trip(cluster):
+    cluster.apply(1, JobAllocation(nodes=[2, 3], local_mb={2: 1024, 3: 512},
+                                   remote_mb={2: {5: 2048}}))
+    snap = cluster.columns.snapshot()
+    want = {name: arr.copy() for name, arr in snap.items()}
+    cluster.apply(2, JobAllocation(nodes=[7], local_mb={7: 4096}))
+    cluster.release(1)
+    cluster.columns.restore(snap)
+    for name in MUTABLE_COLUMNS:
+        assert np.array_equal(getattr(cluster.columns, name), want[name]), name
+    cluster.columns.validate()
+
+
+def test_snapshot_is_a_copy_not_a_view(cluster):
+    snap = cluster.columns.snapshot()
+    cluster.set_local_used(0, 999)
+    assert int(snap["local_used_mb"][0]) == 0
+
+
+def test_restore_writes_in_place_so_aliases_survive(cluster):
+    local_alias = cluster.local_used_mb
+    node_view = cluster.node(0)
+    snap = cluster.columns.snapshot()
+    cluster.set_local_used(0, 777)
+    cluster.columns.restore(snap)
+    assert cluster.local_used_mb is local_alias
+    assert int(local_alias[0]) == 0
+    assert node_view.local_used_mb == 0
+
+
+def test_restore_rejects_wrong_length(cluster):
+    snap = cluster.columns.snapshot()
+    snap["lent_mb"] = np.zeros(cluster.n_nodes + 1, dtype=np.int64)
+    with pytest.raises(ValueError, match="lent_mb"):
+        cluster.columns.restore(snap)
+
+
+# ----------------------------------------------------------------------
+# validate — derived-column drift detection
+# ----------------------------------------------------------------------
+def test_validate_catches_free_local_drift(cluster):
+    cluster.columns.free_local[0] -= 1
+    with pytest.raises(ValueError, match="free_local"):
+        cluster.columns.validate()
+
+
+def test_validate_catches_memnode_drift(cluster):
+    cluster.columns.memnode[0] = True
+    with pytest.raises(ValueError, match="memnode"):
+        cluster.columns.validate()

@@ -53,8 +53,8 @@ def _job(jid: int, n_nodes: int = 1) -> Job:
 
 op_strategy = st.lists(
     st.tuples(
-        st.sampled_from(["apply", "apply_remote", "release", "grow_l",
-                         "shrink_l", "add_r", "rem_r"]),
+        st.sampled_from(["apply", "apply_remote", "apply_wide", "release",
+                         "grow_l", "shrink_l", "add_r", "rem_r"]),
         st.integers(0, 5),       # job id
         st.integers(0, N_NODES - 1),  # node selector
         st.integers(1, 40000),   # MB amount
@@ -76,6 +76,18 @@ def _drive(cluster: Cluster, ops) -> None:
                 cluster.apply(jid, JobAllocation(
                     nodes=[node], local_mb={node: min(mb, 1024)},
                     remote_mb={node: {lender: mb}},
+                ))
+            elif op == "apply_wide":
+                # Multi-node allocation exercising the columnar bulk
+                # mutators, including a borrow from the job's *own*
+                # second node (a lender that is also a compute node).
+                node2 = (node + 2) % N_NODES
+                outside = (node + 4) % N_NODES
+                cluster.apply(jid, JobAllocation(
+                    nodes=sorted({node, node2}),
+                    local_mb={node: min(mb, 2048), node2: min(mb, 1024)},
+                    remote_mb={node: {node2: min(mb, 4096)},
+                               node2: {outside: mb}},
                 ))
             elif op == "release":
                 cluster.release(jid)
@@ -178,6 +190,164 @@ def test_static_plan_matches_unindexed_selection(ops, request_mb, n_nodes):
 
 
 # ----------------------------------------------------------------------
+# Columnar bulk-mutator edge transitions
+# ----------------------------------------------------------------------
+def test_release_of_job_whose_node_also_lends():
+    """A compute node of one job may simultaneously lend to another.
+
+    Releasing either job must restore exactly its own share of the
+    node's columns — the bulk release path touches ``local_used`` and
+    ``lent`` of the same node in one call.
+    """
+    cluster = _cluster()
+    # job 0 computes on nodes 1 and 2; node 2 lends to job 1 on node 5
+    cluster.apply(0, JobAllocation(nodes=[1, 2],
+                                   local_mb={1: 1024, 2: 2048}))
+    cluster.apply(1, JobAllocation(nodes=[5], local_mb={5: 512},
+                                   remote_mb={5: {2: 8192}}))
+    assert int(cluster.local_used_mb[2]) == 2048
+    assert int(cluster.lent_mb[2]) == 8192
+    cluster.check_invariants()
+    cluster.release(0)
+    # node 2 is idle again but still lends to job 1
+    assert not cluster.busy[2]
+    assert int(cluster.local_used_mb[2]) == 0
+    assert int(cluster.lent_mb[2]) == 8192
+    cluster.check_invariants()
+    cluster.release(1)
+    assert int(cluster.lent_mb[2]) == 0
+    cluster.check_invariants()
+
+
+def test_bulk_memnode_flip_updates_startable_aggregates():
+    """One apply() pushing several lenders past half capacity must flip
+    every memnode bit and the startable/memory-node aggregates in the
+    same bulk call (and flip them back on release)."""
+    cluster = _cluster()
+    half = 64 * 1024 // 2  # normal node capacity is 64 GB
+    alloc = JobAllocation(
+        nodes=[2], local_mb={2: 1024},
+        remote_mb={2: {5: half + 1, 6: half + 1, 7: half + 1}},
+    )
+    before_startable = cluster.startable_count
+    cluster.apply(0, alloc)
+    assert cluster.memory_node_count == 3
+    # node 2 went busy (-1) and three lenders became memory nodes (-3)
+    assert cluster.startable_count == before_startable - 4
+    cluster.check_invariants()
+    cluster.release(0)
+    assert cluster.memory_node_count == 0
+    assert cluster.startable_count == before_startable
+    cluster.check_invariants()
+
+
+def test_borrow_from_own_node_released_once():
+    """A job borrowing from its own second node must not double-count
+    that node on release (it appears in both the busy and lender sets)."""
+    cluster = _cluster()
+    cluster.apply(0, JobAllocation(
+        nodes=[1, 2], local_mb={1: 1024, 2: 512},
+        remote_mb={1: {2: 4096}},
+    ))
+    assert int(cluster.lent_mb[2]) == 4096
+    assert int(cluster.remote_held_mb[1]) == 4096
+    cluster.check_invariants()
+    cluster.release(0)
+    assert int(cluster.lent_mb[2]) == 0
+    assert int(cluster.remote_held_mb[1]) == 0
+    assert cluster.recompute_aggregates()["busy_count"] == 0
+    cluster.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Coalesced demand notifications (defer_demand)
+# ----------------------------------------------------------------------
+def test_defer_demand_coalesces_to_the_same_dirty_set():
+    """Deferred notification == union of the per-mutation notifications,
+    delivered once, after the window (never inside it)."""
+
+    def run(deferred: bool):
+        cluster = _cluster()
+        calls = []
+        cluster.add_demand_listener(
+            lambda c, lenders: calls.append(sorted(lenders))
+        )
+        cluster.apply(0, JobAllocation(nodes=[0], local_mb={0: 1024},
+                                       remote_mb={0: {3: 2048}}))
+        del calls[:]  # only compare the resize window itself
+
+        def mutate():
+            cluster.add_remote(0, 0, 4, 512)
+            cluster.grow_local(0, 0, 256)
+            cluster.remove_remote(0, 0, 3, 2048)
+
+        if deferred:
+            with cluster.defer_demand():
+                mutate()
+                in_window = len(calls)
+            return calls, in_window
+        mutate()
+        return calls, None
+
+    immediate, _ = run(deferred=False)
+    deferred, in_window = run(deferred=True)
+    assert in_window == 0  # nothing fires inside the window
+    assert len(deferred) == 1  # one coalesced flush
+    union = sorted(set().union(*immediate))
+    assert deferred[0] == union
+
+
+def test_defer_demand_is_reentrant():
+    cluster = _cluster()
+    calls = []
+    cluster.add_demand_listener(lambda c, lenders: calls.append(list(lenders)))
+    cluster.apply(0, JobAllocation(nodes=[0], local_mb={0: 1024}))
+    del calls[:]
+    with cluster.defer_demand():
+        with cluster.defer_demand():
+            cluster.add_remote(0, 0, 2, 512)
+        assert calls == []  # the inner exit defers to the outer flush
+    assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# Delta-log overflow: counted, and stale consumers rebuild
+# ----------------------------------------------------------------------
+def test_free_log_overflow_counts_and_forces_rebuild():
+    from repro.cluster.cluster import FREE_LOG_LIMIT
+
+    cluster = _cluster()
+    idx = SortedFreeIndex(cluster, descending=True)
+    idx.nodes_in_order()
+    assert cluster.free_log_overflows == 0
+    stale_gen = cluster.generation
+    cluster.apply(0, JobAllocation(nodes=[0], local_mb={0: 1024}))
+    for _ in range(FREE_LOG_LIMIT):
+        cluster.grow_local(0, 0, 1)
+        cluster.shrink_local(0, 0, 1)
+    assert cluster.free_log_overflows >= 1
+    # the dropped prefix is gone: a consumer parked before the overflow
+    # must be told to rebuild instead of silently missing deltas
+    assert cluster.free_changes_since(stale_gen) is None
+    rebuilds_before = idx.rebuilds
+    idx.check_consistent()
+    assert idx.rebuilds == rebuilds_before + 1
+
+
+def test_bulk_log_append_keeps_generation_arithmetic():
+    """`generation == _free_log_base + len(_free_log)` must hold across
+    both the scalar and the bulk append paths."""
+    cluster = _cluster()
+    cluster.apply(0, JobAllocation(nodes=[0, 1, 2],
+                                   local_mb={0: 1, 1: 2, 2: 3}))
+    assert cluster.generation == cluster._free_log_base + len(cluster._free_log)
+    gen = cluster.generation
+    cluster.grow_local(0, 1, 64)
+    assert cluster.free_changes_since(gen) == [1]
+    assert cluster.generation == cluster._free_log_base + len(cluster._free_log)
+
+
+# ----------------------------------------------------------------------
 # SortedFreeIndex repair micro-behaviour
 # ----------------------------------------------------------------------
 def test_index_repairs_small_deltas_without_rebuilding():
@@ -200,6 +370,43 @@ def test_index_rebuilds_when_delta_log_is_lost():
     cluster._free_log.clear()
     idx.check_consistent()
     assert idx.rebuilds == 2
+
+
+def test_repair_tie_order_with_duplicate_free_values():
+    """Repair must land nodes with *equal* free DRAM in node-id order,
+    exactly where a fresh stable argsort would put them.
+
+    The composite sort key (``free * n + node``) makes ties impossible
+    at the key level; this regression pins the behaviour for deltas that
+    create duplicates of existing free values on both index polarities.
+    """
+    cluster = _cluster()
+    for desc in (True, False):
+        idx = SortedFreeIndex(cluster, descending=desc)
+        idx.nodes_in_order()
+        # Drive several normal nodes to identical free values in
+        # separate repair batches, interleaved with reads.
+        cluster.apply(10 + (0 if desc else 1) * 10,
+                      JobAllocation(nodes=[5], local_mb={5: 4096}))
+        idx.check_consistent()
+        cluster.apply(11 + (0 if desc else 1) * 10,
+                      JobAllocation(nodes=[7], local_mb={7: 4096}))
+        idx.check_consistent()  # nodes 5 and 7 now tie
+        cluster.apply(12 + (0 if desc else 1) * 10,
+                      JobAllocation(nodes=[6], local_mb={6: 4096}))
+        idx.check_consistent()  # three-way tie, middle node repaired last
+        free = np.asarray(cluster.free_local())
+        n = cluster.n_nodes
+        sign = -1 if desc else 1
+        want = np.argsort(sign * free * n + np.arange(n), kind="stable")
+        assert np.array_equal(idx.nodes_in_order(), want)
+        # the tied trio must sit in node-id order, adjacent to each other
+        order = [int(x) for x in idx.nodes_in_order()
+                 if free[x] == free[5] and int(x) in (5, 6, 7)]
+        assert order == [5, 6, 7]
+        for jid in (10, 11, 12) if desc else (20, 21, 22):
+            cluster.release(jid)
+        idx.check_consistent()
 
 
 def test_overrides_do_not_touch_the_live_index():
