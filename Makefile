@@ -9,7 +9,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint lint-deep lint-json lint-sarif test check \
-	bench-parallel bench-obs obs-smoke bench-sim bench-sim-16k bench-lint
+	bench-parallel bench-obs obs-smoke bench-sim bench-sim-16k bench-lint \
+	bench-check
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -65,3 +66,9 @@ bench-sim-16k:
 # benchmarks/output/BENCH_lint.json
 bench-lint:
 	$(PYTHON) benchmarks/bench_lint.py
+
+# Regression gate: each bench driver appends its headline time to
+# benchmarks/output/BENCH_history.jsonl; fail if the latest run of any
+# bench is >15% slower than the best of its recent prior runs.
+bench-check:
+	$(PYTHON) benchmarks/bench_check.py

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Regression gate over ``benchmarks/output/BENCH_history.jsonl``.
+
+Each bench driver appends a timestamped row with its headline wall time
+(``primary_s``) on every run.  This gate compares, per bench, the most
+recent row against the best of the preceding rows (up to ``--window``):
+a slowdown beyond ``--threshold`` (default 15%) fails the check.
+
+Benches with no prior history pass with a note — the first recorded run
+becomes the reference for the next one.
+
+Usage (``make bench-check``):
+
+    python benchmarks/bench_check.py [--threshold 0.15] [--window 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_utils import HISTORY_PATH, load_history  # noqa: E402
+
+
+def check(rows, threshold: float, window: int):
+    """Per-bench verdicts: (bench, latest_s, reference_s, ratio, ok)."""
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row["bench"], []).append(row)
+    verdicts = []
+    for bench in sorted(by_bench):
+        history = by_bench[bench]
+        latest = history[-1]["primary_s"]
+        prior = [r["primary_s"] for r in history[:-1]][-window:]
+        if not prior:
+            verdicts.append((bench, latest, None, None, True))
+            continue
+        reference = min(prior)
+        ratio = latest / reference if reference > 0 else 1.0
+        verdicts.append((bench, latest, reference, ratio,
+                         ratio <= 1.0 + threshold))
+    return verdicts
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional slowdown vs reference")
+    ap.add_argument("--window", type=int, default=5,
+                    help="prior rows per bench considered for the reference")
+    ap.add_argument("--history", default=str(HISTORY_PATH))
+    args = ap.parse_args(argv)
+
+    rows = load_history(Path(args.history))
+    if not rows:
+        print(f"no bench history at {args.history}; nothing to check "
+              "(run any bench_*.py driver to start recording)")
+        return 0
+
+    failures = 0
+    for bench, latest, reference, ratio, ok in check(
+        rows, args.threshold, args.window
+    ):
+        if reference is None:
+            print(f"  {bench:16s} {latest:8.3f} s   (first recorded run, "
+                  "no reference)")
+            continue
+        delta = (ratio - 1.0) * 100.0
+        flag = "ok" if ok else "REGRESSION"
+        print(f"  {bench:16s} {latest:8.3f} s   vs best-of-prior "
+              f"{reference:8.3f} s  {delta:+6.1f}%  {flag}")
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"\n{failures} bench(es) regressed beyond "
+              f"{args.threshold:.0%}")
+        return 1
+    print("\nall benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_utils import append_history  # noqa: E402
 from repro.analysis import (  # noqa: E402
     clear_parse_cache,
     iter_python_files,
@@ -93,6 +94,7 @@ def main(argv=None) -> int:
 
     OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    append_history(f"lint[{n_files}f]", "deep_warm_s", deep_warm_s, record)
     print(json.dumps(record, indent=2))
     print(f"\nwrote {OUTPUT}")
     return 0

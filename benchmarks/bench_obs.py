@@ -1,23 +1,27 @@
 #!/usr/bin/env python
 """Observability benchmark: telemetry overhead + hot-path flame table.
 
-Three measurements over the same synthetic workload:
+Four measurements over the same synthetic workload:
 
 1. **Baseline** — ``simulate()`` with telemetry disabled (the
    ``NULL_TELEMETRY`` no-op path); best-of-``--repeats`` wall time.
 2. **Observed** — the same run with a full :class:`repro.obs.Telemetry`
-   attached (metrics, spans, sampled series, event log); asserts the
-   metrics dumps are byte-identical across repeats and that the
-   Prometheus export parses.
-3. **Profiled** — one observed run with ``perf_section`` profiling
+   attached (metrics, spans, sampled series, event log, provenance);
+   asserts the metrics dumps are byte-identical across repeats and that
+   the Prometheus export parses.
+3. **Provenance off** — full telemetry with the causal provenance graph
+   disabled; the disabled-vs-enabled delta is the provenance cost.
+4. **Profiled** — one observed run with ``perf_section`` profiling
    enabled; prints the flame-style table and records it.
 
-Writes ``benchmarks/output/BENCH_obs.json``:
+Writes ``benchmarks/output/BENCH_obs.json`` (and appends the headline
+``observed_s`` to ``BENCH_history.jsonl`` for ``make bench-check``):
 
 ```json
 {"n_jobs": 200, "n_nodes": 96, "baseline_s": 1.91, "observed_s": 2.02,
- "overhead_frac": 0.056, "identical_dumps": true, "prometheus_ok": true,
- "profile": {"simulate.engine_run": {"calls": 1, ...}, ...}}
+ "overhead_frac": 0.056, "prov_disabled_s": 1.98, "prov_enabled_s": 2.02,
+ "prov_overhead_frac": 0.02, "identical_dumps": true,
+ "prometheus_ok": true, "profile": {...}}
 ```
 
 Usage (``make obs-smoke`` runs the 20-job variant; CI uploads the JSON):
@@ -35,6 +39,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_utils import append_history  # noqa: E402
 from repro.core.config import SystemConfig  # noqa: E402
 from repro.obs.export import (  # noqa: E402
     metrics_jsonl,
@@ -94,6 +99,20 @@ def main(argv=None) -> int:
     identical = len(dumps) == 1
     print(f"observed (full telemetry): {observed_s:8.3f} s")
 
+    # Provenance disabled-vs-enabled: same full telemetry, causal event
+    # graph off.  The delta vs ``observed_s`` is the provenance cost; the
+    # delta vs ``baseline_s`` should be the pre-provenance overhead.
+    prov_off_s = min(
+        _timed(lambda: _run(wl, config, args.policy,
+                            Telemetry(provenance=False)))
+        for _ in range(args.repeats)
+    )
+    prov_overhead = ((observed_s - prov_off_s) / prov_off_s
+                     if prov_off_s else None)
+    print(f"provenance disabled      : {prov_off_s:8.3f} s   "
+          f"enabled: {observed_s:8.3f} s   "
+          f"overhead: {prov_overhead:+.1%}")
+
     prom = prometheus_text(telemetry.registry)
     try:
         samples = parse_prometheus_text(prom)
@@ -117,6 +136,10 @@ def main(argv=None) -> int:
         "baseline_s": round(baseline_s, 4),
         "observed_s": round(observed_s, 4),
         "overhead_frac": round(overhead, 4) if overhead is not None else None,
+        "prov_disabled_s": round(prov_off_s, 4),
+        "prov_enabled_s": round(observed_s, 4),
+        "prov_overhead_frac": round(prov_overhead, 4)
+        if prov_overhead is not None else None,
         "identical_dumps": identical,
         "prometheus_ok": prometheus_ok,
         "prometheus_samples": len(samples) if prometheus_ok else 0,
@@ -125,6 +148,8 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(record, indent=2) + "\n")
+    append_history(f"obs[j{args.jobs},n{args.nodes},{args.policy}]",
+                   "observed_s", observed_s, record)
     print()
     print(f"telemetry overhead: {overhead:+.1%}  "
           f"(dumps identical: {identical}, prometheus ok: {prometheus_ok}); "

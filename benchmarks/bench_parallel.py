@@ -29,6 +29,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_utils import append_history  # noqa: E402
 from repro.experiments import runner  # noqa: E402
 from repro.experiments.campaign import fig5_scenarios, run_campaign  # noqa: E402
 from repro.experiments.scenarios import SCALES  # noqa: E402
@@ -107,6 +108,10 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(record, indent=2) + "\n")
+    append_history(
+        f"parallel[{args.scale},s{len(grid)},w{args.workers}]",
+        "parallel_s", parallel_s, record,
+    )
     note = (
         f" [cpu_limited: {cpu_count} CPUs < {args.workers} workers; "
         "speedup figure is not meaningful]" if cpu_limited else ""

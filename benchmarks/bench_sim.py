@@ -41,6 +41,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_utils import append_history  # noqa: E402
 from repro.experiments import runner  # noqa: E402
 from repro.experiments.campaign import fig5_scenarios, run_campaign  # noqa: E402
 from repro.experiments.scenarios import SCALES, Scenario  # noqa: E402
@@ -237,6 +238,14 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(record, indent=2) + "\n")
+    dynamic = next(
+        (m for m in measurements["paper_scale"] if m["policy"] == "dynamic"),
+        None,
+    )
+    if dynamic is not None:
+        append_history(f"sim[j{args.jobs},n{PAPER_NODES},dynamic]",
+                       "paper_scale_dynamic_best_s",
+                       dynamic["best_s"], record["current"])
     print(f"wrote {out}")
     return 0
 

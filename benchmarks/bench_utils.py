@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+HISTORY_PATH = OUTPUT_DIR / "BENCH_history.jsonl"
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a figure/table producer exactly once under pytest-benchmark.
@@ -11,3 +18,48 @@ def run_once(benchmark, fn, *args, **kwargs):
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1, warmup_rounds=0)
+
+
+def append_history(bench: str, primary_name: str, primary_s: float,
+                   record: dict, path: Path = HISTORY_PATH) -> Path:
+    """Append one timestamped row to ``BENCH_history.jsonl``.
+
+    Every bench driver records its headline wall-clock number here on
+    each run (``primary_name`` says which field of ``record`` it is), so
+    ``bench_check.py`` / ``make bench-check`` can flag regressions
+    against prior runs on the same machine.  Rows are append-only JSONL;
+    the full per-bench record rides along for forensics.
+
+    ``bench`` should encode the workload parameters (e.g.
+    ``obs[j200,n96,dynamic]``): the checker compares rows with the same
+    key, so a smoke-sized run must never become the reference for a
+    full-sized one.
+    """
+    row = {
+        "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "bench": bench,
+        "primary_name": primary_name,
+        "primary_s": round(float(primary_s), 4),
+        "record": record,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: Path = HISTORY_PATH) -> list:
+    """All history rows in file order; corrupt lines are skipped."""
+    if not path.exists():
+        return []
+    rows = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+            row["primary_s"], row["bench"]
+        except (ValueError, TypeError, KeyError):
+            continue
+        rows.append(row)
+    return rows

@@ -36,7 +36,13 @@ from .dataflow import (
 from .graph import FunctionInfo, ModuleInfo, Project, dotted
 from .rules import _float_producer, _mb_named, _target_names
 
-__all__ = ["LEDGER_FIELDS", "FREE_VECTOR_FIELDS", "GENERATION_LOG_SINKS"]
+__all__ = [
+    "FREE_VECTOR_FIELDS",
+    "GENERATION_LOG_SINKS",
+    "LEDGER_FIELDS",
+    "PROVENANCE_OBSERVED_FIELDS",
+    "PROVENANCE_SINKS",
+]
 
 
 # ----------------------------------------------------------------------
@@ -918,3 +924,76 @@ class LenderNotifyRule(ProjectRule):
                     ):
                         return True
         return False
+
+
+#: Ledger state whose mutations the provenance layer must be able to
+#: observe: per-node remote holdings feed the lender-demand pub/sub (the
+#: contention repricer and the ``demand_dirty`` provenance events hang
+#: off it), and the allocations map marks whole-allocation commits (the
+#: ``cluster.apply``/``cluster.release`` tap).  ``lender_jobs`` is
+#: already governed by INV103.
+PROVENANCE_OBSERVED_FIELDS = frozenset({"remote_held_mb", "allocations"})
+#: The observable seams: the demand notifier and the generation-log
+#: sinks every tapped mutator funnels through.  A mutator reaching none
+#: of them changes state that no provenance tap, listener, or
+#: incremental consumer will ever see.
+PROVENANCE_SINKS = frozenset(
+    {"_notify_demand", "_log_free", "_log_free_many"}
+)
+
+
+@register
+class ProvenanceTapRule(ProjectRule):
+    """INV104: ledger mutations invisible to the provenance taps.
+
+    The causal-provenance layer (``repro.obs.provenance``) observes the
+    cluster purely through its notification seams — the demand pub/sub
+    (``_notify_demand``) and the generation-logged mutator funnels that
+    the apply/release tap rides on.  A mutator in a ledger-owning class
+    (one defining ``check_invariants``) that writes remote holdings or
+    the allocations map but (transitively) reaches none of those seams
+    mutates state that neither the provenance graph, nor the contention
+    repricer, nor ``repro diff`` will ever see — the run's causal record
+    silently diverges from its actual state.  Pool planners don't mutate
+    ledger state and emit their ``borrow_plan`` events directly.
+    """
+
+    id = "INV104"
+    title = "ledger mutation unreachable by any provenance tap seam"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        owners = _owner_classes(project)
+        for qname in sorted(owners):
+            cls = project.classes[qname]
+            for method in cls.methods.values():
+                if (
+                    method.name in PROVENANCE_SINKS
+                    or method.name == "recompute_aggregates"
+                ):
+                    continue
+                writes = [
+                    stmt
+                    for stmt in ast.walk(method.node)
+                    if isinstance(stmt, ast.stmt)
+                    for base, attr, sub in _attr_store_targets(stmt)
+                    if sub
+                    and attr in PROVENANCE_OBSERVED_FIELDS
+                    and isinstance(base, ast.Name)
+                    and base.id == "self"
+                ]
+                if not writes:
+                    continue
+                reach = project.reachable({method.qname})
+                if any(
+                    q.rsplit(".", 1)[-1] in PROVENANCE_SINKS for q in reach
+                ):
+                    continue
+                for stmt in writes:
+                    yield _finding(
+                        self, method, stmt,
+                        f"'{method.name}' mutates provenance-observed "
+                        "ledger state but never reaches "
+                        "_notify_demand/_log_free/_log_free_many; the "
+                        "provenance taps, contention repricer and run "
+                        "diffs go blind to this mutation",
+                    )

@@ -11,7 +11,12 @@
 * ``inspect`` — characterise a saved workload (Table 2/3 style);
 * ``trace`` — summarise a telemetry directory written by
   ``simulate --telemetry`` / ``campaign --telemetry`` (top-N slowest
-  control-loop phases, metric catalogue, ``--job N`` lifecycle);
+  control-loop phases, metric catalogue, ``--job N`` lifecycle,
+  ``--perfetto`` trace-event export, ``--strict`` truncation gate);
+* ``explain`` — causal "why" report for one job: wait-time blame
+  decomposition plus the provenance why-chain;
+* ``diff`` — bisect two telemetry directories to their first divergent
+  event (exit 0 when the deterministic streams are identical);
 * ``lint`` — run the AST-based simulation-correctness linter
   (see ``docs/STATIC_ANALYSIS.md``).
 
@@ -207,6 +212,34 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--series", action="store_true",
                     help="also render the sampled time series as ASCII "
                          "strip charts")
+    tr.add_argument("--strict", action="store_true",
+                    help="exit nonzero when the export's ring buffer "
+                         "evicted events (the history is incomplete)")
+    tr.add_argument("--perfetto", metavar="OUT",
+                    help="also export a Chrome/Perfetto trace-event JSON "
+                         "to OUT (open at https://ui.perfetto.dev)")
+
+    exp = sub.add_parser(
+        "explain",
+        help="explain one job causally: wait-time blame + provenance "
+             "why-chain (from 'simulate --telemetry')",
+        parents=[common],
+    )
+    exp.add_argument("directory", help="telemetry directory to read")
+    exp.add_argument("job", type=int, help="job id to explain")
+    exp.add_argument("--chain", type=int, default=20, metavar="N",
+                     help="max why-chain ancestors to show (default 20)")
+
+    df = sub.add_parser(
+        "diff",
+        help="bisect two telemetry directories to the first divergent "
+             "event (exit 0 iff identical)",
+        parents=[common],
+    )
+    df.add_argument("run_a", help="first telemetry directory")
+    df.add_argument("run_b", help="second telemetry directory")
+    df.add_argument("--context", type=int, default=3,
+                    help="context lines around the divergence (default 3)")
 
     lint = sub.add_parser(
         "lint",
@@ -536,27 +569,61 @@ def _hms(seconds: float) -> str:
 
 def _cmd_trace(args) -> int:
     from .obs.report import (
+        load_meta,
         load_metrics_records,
         render_job_trace,
         render_trace_summary,
         samples_by_name,
     )
 
+    status = 0
+    if args.strict:
+        dropped = int(load_meta(args.directory).get("events_dropped", 0) or 0)
+        if dropped:
+            console.status(
+                f"strict: {dropped} events were evicted from the ring "
+                "buffer; the history below is incomplete")
+            status = 1
     if args.job is not None:
         console.result(render_job_trace(args.directory, args.job))
-        return 0
-    console.result(render_trace_summary(args.directory, top=args.top))
-    if args.series:
-        from .experiments.timeline import series_strips
+    else:
+        console.result(render_trace_summary(args.directory, top=args.top))
+        if args.series:
+            from .experiments.timeline import series_strips
 
-        samples = samples_by_name(load_metrics_records(args.directory))
-        console.result()
-        if samples:
-            console.result(series_strips(
-                samples, title="sampled series (per-row normalised)"))
-        else:
-            console.result("no sampled series in this directory")
+            samples = samples_by_name(load_metrics_records(args.directory))
+            console.result()
+            if samples:
+                console.result(series_strips(
+                    samples, title="sampled series (per-row normalised)"))
+            else:
+                console.result("no sampled series in this directory")
+    if args.perfetto:
+        from .obs.perfetto import write_perfetto
+
+        path = write_perfetto(args.directory, args.perfetto)
+        console.status(f"wrote Perfetto trace to {path} "
+                       "(open at https://ui.perfetto.dev)")
+    return status
+
+
+def _cmd_explain(args) -> int:
+    from .obs.report import render_explain
+
+    console.result(
+        render_explain(args.directory, args.job, chain_limit=args.chain)
+    )
     return 0
+
+
+def _cmd_diff(args) -> int:
+    from .obs.diff import diff_runs, render_diff
+
+    divergence = diff_runs(args.run_a, args.run_b)
+    console.result(
+        render_diff(args.run_a, args.run_b, divergence, context=args.context)
+    )
+    return 0 if divergence is None else 1
 
 
 def _cmd_lint(args) -> int:
@@ -575,6 +642,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
     "trace": _cmd_trace,
+    "explain": _cmd_explain,
+    "diff": _cmd_diff,
     "lint": _cmd_lint,
 }
 

@@ -129,6 +129,9 @@ class Cluster:
         self._deferred_demand: Optional[
             Tuple[set, Dict[int, JobAllocation]]
         ] = None
+        #: provenance tap, called as ``tap(kind, jid, alloc)`` after a
+        #: whole-allocation mutation commits (None = disabled, free)
+        self._prov_tap: Optional[Callable[[str, int, JobAllocation], None]] = None
 
     # ------------------------------------------------------------------
     # Interconnect (lazy; used by topology-aware lending and the optional
@@ -276,6 +279,18 @@ class Cluster:
         """Register ``listener(cluster, lenders)`` for borrow-layout changes."""
         if listener not in self._demand_listeners:
             self._demand_listeners.append(listener)
+
+    def set_provenance_tap(
+        self, tap: Optional[Callable[[str, int, JobAllocation], None]]
+    ) -> None:
+        """Install ``tap(kind, jid, alloc)`` on apply/release commits.
+
+        The incremental mutators (grow/shrink/add/remove) already reach
+        observers through the demand listener pub/sub; the tap covers the
+        whole-allocation seams those notifications cannot attribute to a
+        single job.  ``None`` (the default) keeps the mutators tap-free.
+        """
+        self._prov_tap = tap
 
     def remove_demand_listener(self, listener) -> None:
         try:
@@ -445,6 +460,8 @@ class Cluster:
         """Commit ``alloc`` for job ``jid``, updating every ledger."""
         with perf_section("cluster.apply"):
             self._apply(jid, alloc)
+        if self._prov_tap is not None:
+            self._prov_tap("apply", jid, alloc)
 
     def _apply(self, jid: int, alloc: JobAllocation) -> None:
         if jid in self.allocations:
@@ -526,7 +543,10 @@ class Cluster:
     def release(self, jid: int) -> JobAllocation:
         """Release all resources of job ``jid`` and return its allocation."""
         with perf_section("cluster.release"):
-            return self._release(jid)
+            alloc = self._release(jid)
+        if self._prov_tap is not None:
+            self._prov_tap("release", jid, alloc)
+        return alloc
 
     def _release(self, jid: int) -> JobAllocation:
         alloc = self.allocations.pop(jid, None)

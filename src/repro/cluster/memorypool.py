@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.provenance import NULL_PROVENANCE
 from .cluster import Cluster
 
 #: Lender-selection strategies.  ``most-free`` is the paper's policy;
@@ -241,6 +242,10 @@ class MemoryPool:
         self.cluster = cluster
         self.strategy = strategy
         self._rr_cursor = 0
+        #: causal-event sink for borrow plans; the controller swaps in
+        #: the live log when provenance is enabled (guards keep the
+        #: disabled default free)
+        self.provenance = NULL_PROVENANCE
         #: shared sorted views of the free ledger (also used by the
         #: static policy's node selection)
         self.free_index = SortedFreeIndex(cluster, descending=True)
@@ -308,6 +313,11 @@ class MemoryPool:
             int(free[node]) for node in excluded
         )
         if lendable < amount_mb:
+            if self.provenance.enabled:
+                self.provenance.emit(
+                    "borrow_fail", amount_mb=amount_mb, near=near,
+                    lendable_mb=lendable, excluded=sorted(excluded),
+                )
             return None
         order = self._most_free_order(near)
         plan: List[Tuple[int, int]] = []
@@ -323,10 +333,35 @@ class MemoryPool:
             plan.append((node, take))
             remaining -= take
             if remaining == 0:
+                if self.provenance.enabled:
+                    self.provenance.emit(
+                        "borrow_plan", amount_mb=amount_mb, near=near,
+                        excluded=sorted(excluded),
+                        lenders=[[n, mb] for n, mb in plan],
+                    )
                 return plan
         return None  # pragma: no cover - guarded by the sum check above
 
     def split_borrow(
+        self,
+        per_node_mb: Dict[int, int],
+        reduce_free: Optional[Dict[int, int]] = None,
+    ) -> Optional[Dict[int, List[Tuple[int, int]]]]:
+        result = self._split_borrow(per_node_mb, reduce_free)
+        if self.provenance.enabled:
+            lenders = sorted(
+                {ln for plan in result.values() for ln, _ in plan}
+            ) if result else []
+            self.provenance.emit(
+                "borrow_split",
+                n_requests=len(per_node_mb),
+                total_mb=sum(per_node_mb.values()),
+                ok=result is not None,
+                lenders=lenders,
+            )
+        return result
+
+    def _split_borrow(
         self,
         per_node_mb: Dict[int, int],
         reduce_free: Optional[Dict[int, int]] = None,

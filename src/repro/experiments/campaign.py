@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..obs.export import metrics_csv, metrics_jsonl, prometheus_text
+from ..obs.provenance import provenance_jsonl
 from ..obs.registry import MetricsRegistry
 from .parallel import raw_result, run_grid, scenario_key
 from .runner import normalized
@@ -154,13 +155,15 @@ def run_campaign(
 
     With ``telemetry_dir`` every scenario run is observed: its
     deterministic metrics dump is written to
-    ``telemetry_dir/scenarios/<slug>.json`` as the scenario completes
-    (resume-safe: a scenario whose dump is missing re-runs even if its
-    JSONL record exists), and after the campaign all requested
-    scenarios' registries merge — in sorted-slug order, each metric
-    prefixed ``<slug>/`` — into ``telemetry_dir/metrics.{jsonl,csv,prom}``.
-    The merged dumps are byte-identical between serial and ``workers=N``
-    executions.
+    ``telemetry_dir/scenarios/<slug>.json`` and its provenance rows to
+    ``telemetry_dir/scenarios/<slug>.prov.jsonl`` as the scenario
+    completes (resume-safe: a scenario missing either dump re-runs even
+    if its JSONL record exists), and after the campaign all requested
+    scenarios merge — in sorted-slug order — into
+    ``telemetry_dir/metrics.{jsonl,csv,prom}`` (each metric prefixed
+    ``<slug>/``) and ``telemetry_dir/provenance.jsonl`` (each row
+    tagged ``"run": slug``).  The merged dumps are byte-identical
+    between serial and ``workers=N`` executions.
     """
     path = Path(path)
     done = _load_done(path)
@@ -172,10 +175,20 @@ def run_campaign(
     def dump_path(scenario: Scenario) -> Path:
         return tdir / "scenarios" / f"{scenario_slug(scenario)}.json"
 
+    def prov_path(scenario: Scenario) -> Path:
+        return tdir / "scenarios" / f"{scenario_slug(scenario)}.prov.jsonl"
+
     def needs_run(scenario: Scenario, key: str) -> bool:
         if key not in done:
             return True
-        return collect and not dump_path(scenario).exists()
+        return collect and not (
+            dump_path(scenario).exists() and prov_path(scenario).exists()
+        )
+
+    def _atomic_write(target: Path, text: str) -> None:
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, target)
 
     with open(path, "a") as fh:
 
@@ -188,10 +201,11 @@ def run_campaign(
                 fh.flush()
                 done[rec["key"]] = rec
             if collect and "telemetry" in raw:
-                target = dump_path(scenario)
-                tmp = target.with_name(target.name + ".tmp")
-                tmp.write_text(json.dumps(raw["telemetry"], sort_keys=True))
-                os.replace(tmp, target)
+                _atomic_write(dump_path(scenario),
+                              json.dumps(raw["telemetry"], sort_keys=True))
+            if collect and "provenance" in raw:
+                _atomic_write(prov_path(scenario),
+                              provenance_jsonl(raw["provenance"]))
 
         if workers <= 1:
             for i, scenario in enumerate(scenarios):
@@ -229,12 +243,16 @@ def merge_campaign_telemetry(
     Scenarios merge in sorted-slug order with their slug as the metric
     prefix, so the merged ``metrics.{jsonl,csv,prom}`` files are a pure
     function of the scenario set — independent of completion order and
-    of how many workers ran the campaign.  Scenarios without a dump file
-    (e.g. a cancelled run) are skipped.
+    of how many workers ran the campaign.  The per-scenario provenance
+    streams concatenate the same way (each row tagged ``"run": slug``)
+    into ``provenance.jsonl``, so the merged causal record is
+    byte-identical serial vs parallel too.  Scenarios without a dump
+    file (e.g. a cancelled run) are skipped.
     """
     tdir = Path(telemetry_dir)
     merged = MetricsRegistry()
     slugs = sorted({scenario_slug(sc) for sc in scenarios})
+    prov_lines: List[str] = []
     for slug in slugs:
         dump = tdir / "scenarios" / f"{slug}.json"
         if not dump.exists():
@@ -242,9 +260,21 @@ def merge_campaign_telemetry(
             continue
         child = MetricsRegistry.from_dict(json.loads(dump.read_text()))
         merged.merge(child, prefix=f"{slug}/")
+        prov = tdir / "scenarios" / f"{slug}.prov.jsonl"
+        if prov.exists():
+            for line in prov.read_text().splitlines():
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                prov_lines.append(
+                    json.dumps({"run": slug, **row}, sort_keys=True)
+                )
     (tdir / "metrics.jsonl").write_text(metrics_jsonl(merged))
     (tdir / "metrics.csv").write_text(metrics_csv(merged))
     (tdir / "metrics.prom").write_text(prometheus_text(merged))
+    (tdir / "provenance.jsonl").write_text(
+        "".join(line + "\n" for line in prov_lines)
+    )
     return merged
 
 

@@ -70,7 +70,8 @@ def raw_result(scenario: Scenario, collect_telemetry: bool = False) -> Dict:
     diagnostics, stripped from :func:`run_grid`'s returned map so the
     map stays deterministic; ``n_events`` is the simulation's processed
     event count (deterministic).  With ``collect_telemetry`` the
-    deterministic registry dump rides along under ``"telemetry"``.
+    deterministic registry dump rides along under ``"telemetry"`` and
+    the provenance rows under ``"provenance"``.
     """
     t0 = perf_counter()
     res = run(scenario, collect_telemetry=collect_telemetry)
@@ -89,6 +90,7 @@ def raw_result(scenario: Scenario, collect_telemetry: bool = False) -> Dict:
     }
     if collect_telemetry:
         out["telemetry"] = res.meta["telemetry_dump"]
+        out["provenance"] = res.meta["provenance_dump"]
     return out
 
 

@@ -136,15 +136,22 @@ def base_workload(scenario: Scenario) -> Workload:
 #: only persists the metrics registry, so a small ring suffices.
 CAMPAIGN_LOG_ENTRIES = 10_000
 
+#: Provenance ring bound for campaign-collected telemetry: per-scenario
+#: dumps keep the *tail* of the causal stream (enough to bisect a run
+#: that went wrong) without holding a full graph per scenario.
+CAMPAIGN_PROV_ENTRIES = 4_000
+
 
 def run(scenario: Scenario, collect_telemetry: bool = False) -> SimulationResult:
     """Simulate one scenario (cached on the full scenario tuple).
 
     With ``collect_telemetry`` the run is observed by a
-    :class:`repro.obs.Telemetry` instance and the deterministic metrics
-    registry dump lands in ``result.meta["telemetry_dump"]``.  Telemetry
+    :class:`repro.obs.Telemetry` instance; the deterministic metrics
+    registry dump lands in ``result.meta["telemetry_dump"]`` and the
+    provenance rows in ``result.meta["provenance_dump"]``.  Telemetry
     does not change the simulation outcome, so the cache key is shared —
-    but a cached result without a dump is re-run when one is requested.
+    but a cached result without the dumps is re-run when they are
+    requested.
     """
     key = (
         scenario.workload_key(),
@@ -153,7 +160,10 @@ def run(scenario: Scenario, collect_telemetry: bool = False) -> SimulationResult
         round(scenario.overestimation, 6),
     )
     res = _result_cache.get(key)
-    if res is not None and (not collect_telemetry or "telemetry_dump" in res.meta):
+    if res is not None and (
+        not collect_telemetry
+        or ("telemetry_dump" in res.meta and "provenance_dump" in res.meta)
+    ):
         return res
     wl = base_workload(scenario)
     if scenario.overestimation > 0:
@@ -161,7 +171,8 @@ def run(scenario: Scenario, collect_telemetry: bool = False) -> SimulationResult
     else:
         jobs = wl.fresh_jobs()
     telemetry = (
-        Telemetry(trace_spans=False, max_log_entries=CAMPAIGN_LOG_ENTRIES)
+        Telemetry(trace_spans=False, max_log_entries=CAMPAIGN_LOG_ENTRIES,
+                  max_prov_entries=CAMPAIGN_PROV_ENTRIES)
         if collect_telemetry
         else None
     )
@@ -176,6 +187,7 @@ def run(scenario: Scenario, collect_telemetry: bool = False) -> SimulationResult
     res.meta["scenario"] = scenario
     if telemetry is not None:
         res.meta["telemetry_dump"] = telemetry.registry.to_dict()
+        res.meta["provenance_dump"] = telemetry.provenance.to_rows()
     _result_cache.put(key, res)
     return res
 

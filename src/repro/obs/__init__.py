@@ -1,6 +1,6 @@
 """repro.obs — zero-overhead-when-disabled observability.
 
-Four pieces (see ``docs/OBSERVABILITY.md``):
+Seven pieces (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`~repro.obs.registry` — deterministic, pickle-safe metrics
   (``Counter`` / ``Gauge`` / ``Histogram``) sampled on a simulated-time
@@ -8,6 +8,13 @@ Four pieces (see ``docs/OBSERVABILITY.md``):
   the parent bit-identically.
 * :mod:`~repro.obs.tracing` — wall-clock + simulated-time spans of the
   controller tick and the Monitor/Decider/Actuator/Executor phases.
+* :mod:`~repro.obs.provenance` — the causal event graph recorded at the
+  simulator's decision seams, plus :mod:`~repro.obs.blame` — per-job
+  wait-time attribution (``repro explain``).
+* :mod:`~repro.obs.diff` — run-divergence bisection between two
+  exported runs (``repro diff A B``).
+* :mod:`~repro.obs.perfetto` — Chrome trace-event export for the
+  Perfetto UI (``repro trace DIR --perfetto out.json``).
 * :mod:`~repro.obs.profiling` — ``perf_section()`` hooks on the
   simulator hot paths, aggregated into a flame-style table
   (``benchmarks/bench_obs.py`` → ``BENCH_obs.json``).
@@ -19,13 +26,16 @@ The facade is :class:`~repro.obs.telemetry.Telemetry`; pass one to
 ``repro campaign ... --telemetry DIR``).
 """
 
+from .blame import WAIT_COMPONENTS, BlameAccumulator
 from .console import Console, console
+from .diff import diff_runs, render_diff
 from .export import (
     metrics_csv,
     metrics_jsonl,
     parse_prometheus_text,
     prometheus_text,
 )
+from .perfetto import perfetto_events, write_perfetto
 from .profiling import (
     PerfAggregator,
     disable_profiling,
@@ -33,32 +43,57 @@ from .profiling import (
     perf_section,
     profiling_active,
 )
+from .provenance import (
+    NULL_PROVENANCE,
+    NullProvenance,
+    ProvenanceLog,
+    causal_chain,
+    load_provenance,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .report import render_job_trace, render_trace_summary
+from .report import (
+    load_blame,
+    render_explain,
+    render_job_trace,
+    render_trace_summary,
+)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .tracing import Span, SpanTracer
 
 __all__ = [
+    "BlameAccumulator",
     "Console",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROVENANCE",
     "NULL_TELEMETRY",
+    "NullProvenance",
     "NullTelemetry",
     "PerfAggregator",
+    "ProvenanceLog",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "WAIT_COMPONENTS",
+    "causal_chain",
     "console",
+    "diff_runs",
     "disable_profiling",
     "enable_profiling",
+    "load_blame",
+    "load_provenance",
     "metrics_csv",
     "metrics_jsonl",
     "parse_prometheus_text",
     "perf_section",
+    "perfetto_events",
     "profiling_active",
     "prometheus_text",
+    "render_diff",
+    "render_explain",
     "render_job_trace",
     "render_trace_summary",
+    "write_perfetto",
 ]

@@ -1,0 +1,151 @@
+"""Run-divergence bisection over exported telemetry directories.
+
+``repro diff A B`` compares the *deterministic* artifacts of two runs —
+``provenance.jsonl``, ``events.jsonl``, ``metrics.jsonl``,
+``metrics.prom`` — line by line, and localises the **first divergent
+event** between them.  Wall-clock artifacts (``spans.jsonl``,
+``meta.json``) are deliberately excluded: two identical-seed runs must
+diff clean even though their span timings differ.
+
+When the divergence falls in ``provenance.jsonl``, the report renders
+both runs' *causal chains* up to the divergent event, so the first
+decision that split the runs is visible with its full ancestry — the
+bisection primitive behind "these two runs should have been identical,
+where did they fork?".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .provenance import causal_chain, load_provenance, render_row
+
+__all__ = ["DIFF_FILES", "diff_runs", "render_diff"]
+
+PathLike = Union[str, Path]
+
+#: Deterministic artifacts, compared in causal order: the provenance
+#: stream diverges at (or before) whatever made the other files differ.
+DIFF_FILES = (
+    "provenance.jsonl",
+    "events.jsonl",
+    "metrics.jsonl",
+    "metrics.prom",
+)
+
+
+def diff_runs(dir_a: PathLike, dir_b: PathLike) -> Optional[Dict[str, object]]:
+    """First divergence between two telemetry directories, or ``None``.
+
+    Returns ``{"file", "line", "a", "b"}`` — 1-based line number and the
+    two sides' lines (``None`` for a side whose file ended early;
+    ``line`` 0 when the file exists on only one side).  Files absent
+    from *both* directories are skipped, so metrics-only campaign dumps
+    compare on whatever they share.
+    """
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    for name in DIFF_FILES:
+        pa, pb = dir_a / name, dir_b / name
+        has_a, has_b = pa.exists(), pb.exists()
+        if not has_a and not has_b:
+            continue
+        if has_a != has_b:
+            return {
+                "file": name,
+                "line": 0,
+                "a": "<present>" if has_a else "<missing file>",
+                "b": "<present>" if has_b else "<missing file>",
+            }
+        lines_a = pa.read_text().splitlines()
+        lines_b = pb.read_text().splitlines()
+        for i, (la, lb) in enumerate(zip(lines_a, lines_b)):
+            if la != lb:
+                return {"file": name, "line": i + 1, "a": la, "b": lb}
+        if len(lines_a) != len(lines_b):
+            i = min(len(lines_a), len(lines_b))
+            return {
+                "file": name,
+                "line": i + 1,
+                "a": lines_a[i] if i < len(lines_a) else None,
+                "b": lines_b[i] if i < len(lines_b) else None,
+            }
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _context_block(path: Path, line: int, context: int) -> List[str]:
+    """±``context`` lines around 1-based ``line`` with a ``>`` marker."""
+    if not path.exists():
+        return [f"  (no {path.name})"]
+    lines = path.read_text().splitlines()
+    lo = max(0, line - 1 - context)
+    hi = min(len(lines), line + context)
+    out = []
+    for i in range(lo, hi):
+        marker = ">" if i == line - 1 else " "
+        out.append(f"  {marker} {i + 1:>6}  {lines[i]}")
+    if line - 1 >= len(lines):
+        out.append(f"  > {line:>6}  <end of file>")
+    return out
+
+
+def _prov_chain_block(
+    directory: Path, line: Optional[str], label: str
+) -> List[str]:
+    """Causal ancestry of the divergent provenance event on one side."""
+    if not line:
+        return [f"  {label}: stream ended before this event"]
+    try:
+        eid = json.loads(line)["eid"]
+    except (ValueError, KeyError, TypeError):
+        return [f"  {label}: unparseable provenance row: {line!r}"]
+    rows = load_provenance(directory)
+    chain, missing = causal_chain(rows, eid)
+    out = [f"  {label}: causal chain of divergent event #{eid}"]
+    out += ["    " + render_row(row) for row in chain]
+    if missing:
+        out.append(f"    [truncated: {missing} ancestor(s) evicted]")
+    return out
+
+
+def render_diff(
+    dir_a: PathLike,
+    dir_b: PathLike,
+    divergence: Optional[Dict[str, object]],
+    context: int = 3,
+) -> str:
+    """Human-readable report for a :func:`diff_runs` result."""
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    if divergence is None:
+        return (
+            f"runs are identical across {', '.join(DIFF_FILES)}\n"
+            f"  A: {dir_a}\n  B: {dir_b}"
+        )
+    name = str(divergence["file"])
+    line = int(divergence["line"])  # type: ignore[arg-type]
+    parts = [
+        f"runs diverge in {name} at line {line}",
+        f"  A: {dir_a}",
+        f"  B: {dir_b}",
+        "",
+        f"--- A: {name}",
+        *_context_block(dir_a / name, line, context),
+        f"+++ B: {name}",
+        *_context_block(dir_b / name, line, context),
+    ]
+    if name == "provenance.jsonl" and line > 0:
+        parts += [
+            "",
+            "causal context (walk-back from the first divergent event):",
+            *_prov_chain_block(
+                dir_a, divergence.get("a"), "A"  # type: ignore[arg-type]
+            ),
+            *_prov_chain_block(
+                dir_b, divergence.get("b"), "B"  # type: ignore[arg-type]
+            ),
+        ]
+    return "\n".join(parts)

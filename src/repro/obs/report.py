@@ -20,13 +20,17 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .blame import WAIT_COMPONENTS
+from .provenance import causal_chain, load_provenance, render_row
 from .tracing import Span, aggregate_spans
 
 __all__ = [
+    "load_blame",
     "load_events",
     "load_meta",
     "load_metrics_records",
     "load_spans",
+    "render_explain",
     "render_job_trace",
     "render_trace_summary",
     "samples_by_name",
@@ -76,6 +80,14 @@ def load_events(directory: PathLike) -> List[Dict]:
 def load_meta(directory: PathLike) -> Dict:
     """Run metadata from ``meta.json`` (empty dict if absent)."""
     path = Path(directory) / "meta.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def load_blame(directory: PathLike) -> Dict:
+    """Wait-blame decomposition from ``blame.json`` (empty if absent)."""
+    path = Path(directory) / "blame.json"
     if not path.exists():
         return {}
     return json.loads(path.read_text())
@@ -198,12 +210,21 @@ def _last(events: Sequence[Dict], kinds: Tuple[str, ...]) -> Optional[float]:
 
 
 def render_job_trace(directory: PathLike, jid: int) -> str:
-    """Reconstruct one job's lifecycle from the exported event log."""
+    """Reconstruct one job's lifecycle from the exported event log.
+
+    When the export's ring buffer evicted events (``events_dropped`` in
+    ``meta.json``), the reconstruction says so up front — an eviction
+    can swallow a job's submit/start, and the derived wait/runtime lines
+    below would otherwise silently read as authoritative.
+    """
     directory = Path(directory)
+    dropped = int(load_meta(directory).get("events_dropped", 0) or 0)
     events = [e for e in load_events(directory) if e.get("jid") == jid]
     spans = [s for s in load_spans(directory) if s.jid == jid]
 
     lines = [f"job {jid} lifecycle  ({directory})"]
+    if dropped:
+        lines.append(f"  [truncated: {dropped} events evicted]")
     if not events:
         if not (directory / "events.jsonl").exists():
             lines.append(
@@ -215,6 +236,11 @@ def render_job_trace(directory: PathLike, jid: int) -> str:
                 "ring buffer dropped its history)"
             )
         return "\n".join(lines)
+    if dropped and events[0]["event"] != "submit":
+        lines.append(
+            "  (lifecycle may be incomplete: this job's history starts "
+            f"at '{events[0]['event']}', earlier events were evicted)"
+        )
 
     for e in events:
         detail = f"  {e['detail']}" if e.get("detail") else ""
@@ -244,4 +270,83 @@ def render_job_trace(directory: PathLike, jid: int) -> str:
             f"  spans touching this job: {len(spans)} "
             f"({total * 1e3:.3f} ms wall)"
         )
+    return "\n".join(lines)
+
+
+def render_explain(directory: PathLike, jid: int, chain_limit: int = 20) -> str:
+    """Causal "why" report for one job: lifecycle, blame, ancestry.
+
+    ``repro explain DIR JID`` answers "why did job N wait / run slow?"
+    from the exported artifacts alone: the event-log lifecycle, the
+    wait-time blame decomposition (components sum to the recorded
+    wait), the latest slowdown decomposition with per-lender contention
+    contributions, and the causal why-chain walked back through the
+    provenance graph from the job's last event.
+    """
+    directory = Path(directory)
+    lines = [render_job_trace(directory, jid)]
+
+    blame = load_blame(directory)
+    job_blame = (blame.get("jobs") or {}).get(str(jid))
+    if job_blame:
+        total = float(job_blame.get("total_wait_s", 0.0))
+        comps = job_blame.get("wait", {})
+        rows = []
+        for name in blame.get("components", WAIT_COMPONENTS):
+            sec = float(comps.get(name, 0.0))
+            pct = 100.0 * sec / total if total > 0 else 0.0
+            rows.append([name, f"{sec:.1f}", f"{pct:.1f}%"])
+        rows.append(["= sum", f"{sum(float(v) for v in comps.values()):.1f}",
+                     ""])
+        rows.append(["recorded wait", f"{total:.1f}", ""])
+        lines += [
+            "",
+            f"wait-time blame (job {jid} waited {total:.1f}s in total)",
+            _table(["cause", "seconds", "share"], rows),
+        ]
+    elif blame:
+        lines += ["", f"no wait-blame recorded for job {jid}"]
+    else:
+        lines += ["", "no blame.json in this directory "
+                      "(run exported without provenance)"]
+
+    prov = load_provenance(directory)
+    job_rows = [r for r in prov if r.get("jid") == jid]
+    slowdowns = [r for r in job_rows if r["kind"] == "slowdown"]
+    if slowdowns:
+        data = slowdowns[-1].get("data", {})
+        s = data.get("new", data.get("slowdown"))
+        lines += ["", "latest slowdown decomposition"
+                      + (f" (slowdown {float(s):.3f}x)" if s is not None
+                         else "")]
+        if data.get("base_remote") is not None:
+            lines.append(
+                f"  base remote-placement term: "
+                f"+{float(data['base_remote']):.4f}"
+            )
+        lenders = data.get("lenders") or []
+        if lenders:
+            rows = [
+                [f"lender {entry['lender']}", entry["mb"],
+                 f"{float(entry['oversubscription']):.3f}",
+                 f"+{float(entry['contribution']):.4f}"]
+                for entry in lenders
+            ]
+            lines.append(_table(
+                ["lender", "MB", "oversub", "contribution"], rows
+            ))
+
+    if job_rows:
+        last_eid = int(job_rows[-1]["eid"])
+        chain, missing = causal_chain(prov, last_eid, limit=chain_limit)
+        lines += [
+            "",
+            f"causal why-chain (walk-back from event #{last_eid}, "
+            f"newest first)",
+        ]
+        lines += ["  " + render_row(row) for row in chain]
+        if missing:
+            lines.append(f"  [truncated: {missing} ancestor(s) evicted]")
+    elif prov:
+        lines += ["", f"no provenance events recorded for job {jid}"]
     return "\n".join(lines)

@@ -20,7 +20,13 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional, Union
 
+from .blame import BlameAccumulator
 from .export import metrics_csv, metrics_jsonl, prometheus_text
+from .provenance import (
+    DEFAULT_MAX_PROV_ENTRIES,
+    NULL_PROVENANCE,
+    ProvenanceLog,
+)
 from .registry import MetricsRegistry
 from .tracing import SpanTracer
 
@@ -89,6 +95,8 @@ class Telemetry:
         sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
         max_log_entries: Optional[int] = DEFAULT_MAX_LOG_ENTRIES,
         trace_spans: bool = True,
+        provenance: bool = True,
+        max_prov_entries: Optional[int] = DEFAULT_MAX_PROV_ENTRIES,
     ):
         if sample_interval <= 0:
             raise ValueError(
@@ -98,6 +106,14 @@ class Telemetry:
         self.max_log_entries = max_log_entries
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer() if trace_spans else None
+        #: causal event graph + wait-time blame (``repro explain``);
+        #: ``provenance=False`` keeps the shared disabled singleton
+        if provenance:
+            self.provenance = ProvenanceLog(max_entries=max_prov_entries)
+            self.blame: Optional[BlameAccumulator] = BlameAccumulator()
+        else:
+            self.provenance = NULL_PROVENANCE
+            self.blame = None
         #: the run's structured event log (attached by ``simulate``)
         self.event_log = None
         #: run metadata stamped by ``simulate`` (policy, system, summary)
@@ -191,7 +207,9 @@ class Telemetry:
 
         Files: ``metrics.jsonl`` / ``metrics.csv`` / ``metrics.prom``
         (deterministic registry dumps), ``spans.jsonl`` (wall-clock
-        spans), ``events.jsonl`` (structured event log), ``meta.json``.
+        spans), ``events.jsonl`` (structured event log),
+        ``provenance.jsonl`` / ``blame.json`` (causal graph + wait-time
+        attribution, when enabled), ``meta.json``.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -203,6 +221,21 @@ class Telemetry:
         if self.event_log is not None:
             (directory / "events.jsonl").write_text(
                 event_log_jsonl(self.event_log)
+            )
+            # `repro trace --job` detects ring-buffer truncation from
+            # these (an absent key reads as an untruncated legacy dump).
+            self.meta["events_logged"] = len(self.event_log)
+            self.meta["events_dropped"] = getattr(self.event_log, "dropped", 0)
+        if self.provenance.enabled:
+            (directory / "provenance.jsonl").write_text(
+                self.provenance.to_jsonl()
+            )
+            self.meta["provenance_events"] = self.provenance.next_eid
+            self.meta["provenance_dropped"] = self.provenance.dropped
+        if self.blame is not None:
+            (directory / "blame.json").write_text(
+                json.dumps(self.blame.to_dict(), indent=2, sort_keys=True)
+                + "\n"
             )
         (directory / "meta.json").write_text(
             json.dumps(self.meta, indent=2, sort_keys=True, default=str) + "\n"
@@ -233,7 +266,7 @@ class NullTelemetry(Telemetry):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(trace_spans=False)
+        super().__init__(trace_spans=False, provenance=False)
         self.tracer = None
 
     def inc(self, name: str, n: int = 1) -> None:

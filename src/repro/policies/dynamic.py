@@ -124,6 +124,18 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
             reference = self._monitor(job, progress, window)
         with self.obs.phase("decider"):
             deltas = self._decide(job, alloc, reference)
+        prov = self.obs.provenance
+        if deltas and prov.enabled:
+            # Decider verdict, parented on the job's last lifecycle event;
+            # the resulting pool/cluster events hang off it causally.
+            prov.scope = prov.emit(
+                "decide",
+                jid=job.jid,
+                reference_mb=int(reference),
+                n_deltas=len(deltas),
+                grow_mb=int(sum(d for _, d in deltas if d > 0)),
+                shrink_mb=int(-sum(d for _, d in deltas if d < 0)),
+            )
         with self.obs.phase("actuator"):
             self._actuate(job.jid, alloc, deltas, out)
         if not out.oom:

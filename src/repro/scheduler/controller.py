@@ -24,6 +24,12 @@ from ..jobs.job import Job
 from ..jobs.states import JobState
 from ..metrics.records import JobRecord, SimulationResult
 from ..metrics.utilization import UtilizationTimeline
+from ..obs.blame import (
+    WAIT_HOL,
+    WAIT_LENDER,
+    WAIT_LOCAL,
+    WAIT_MEMNODE,
+)
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..policies.base import AllocationPolicy
 from ..slowdown.model import ContentionModel
@@ -81,6 +87,18 @@ class Controller:
         # The policy reports Monitor/Decider/Actuator phase timings to
         # the same sink (instance attribute shadows the class default).
         policy.obs = self.telemetry
+        # Causal provenance + wait-time blame.  Everything below is
+        # reached only behind `if prov.enabled:` guards, and the cluster
+        # tap / demand listener / pool hook are installed only when
+        # enabled, so a disabled run makes zero provenance calls.
+        self.prov = self.telemetry.provenance
+        self.blame = self.telemetry.blame
+        if self.prov.enabled:
+            cluster.set_provenance_tap(self._prov_cluster_tap)
+            cluster.add_demand_listener(self._prov_demand_dirty)
+            pool = getattr(policy, "pool", None)
+            if pool is not None:
+                pool.provenance = self.prov
         self.pending = PendingQueue()
         self.jobs: Dict[int, Job] = {}
         self.running: Dict[int, Job] = {}
@@ -146,13 +164,24 @@ class Controller:
         self.telemetry.inc("jobs_submitted")
         self.event_log.log(engine.now, _ev.SUBMIT, job.jid,
                            f"n={job.n_nodes} req={job.mem_request_mb}MB")
+        prov = self.prov
+        if prov.enabled:
+            prov.now = engine.now
+            prov.scope = prov.emit(
+                "submit", jid=job.jid, parents=(),
+                n_nodes=job.n_nodes, mem_request_mb=job.mem_request_mb,
+            )
         if not self.policy.can_ever_run(job):
             job.set_state(JobState.UNRUNNABLE)
             self.result.unrunnable.append(job.jid)
             self.telemetry.inc("jobs_unrunnable")
             self.event_log.log(engine.now, _ev.UNRUNNABLE, job.jid)
+            if prov.enabled:
+                prov.emit("unrunnable", jid=job.jid)
             return
         self.pending.add(job)
+        if self.blame is not None:
+            self.blame.enqueued(job.jid, engine.now)
         self._dirty = True
         self._request_sched(engine.now)
 
@@ -162,6 +191,12 @@ class Controller:
             return
         self._account(engine.now)
         self.telemetry.inc("sched_passes")
+        prov = self.prov
+        if prov.enabled:
+            prov.now = engine.now
+            prov.scope = prov.emit(
+                "sched_pass", parents=(), queue_depth=len(self.pending)
+            )
         with self.telemetry.span("controller.sched_pass", engine.now):
             self._sched_pass(engine.now)
 
@@ -170,6 +205,12 @@ class Controller:
         now = engine.now
         self._account(now)
         self._advance(job, now)
+        prov = self.prov
+        if prov.enabled:
+            # Stamp before the release so the cluster tap dates its
+            # mutation event correctly and chains under this handler.
+            prov.now = now
+            prov.scope = None
         alloc = self.cluster.release(job.jid)
         self.running.pop(job.jid, None)
         self.finish_events.pop(job.jid, None)
@@ -181,6 +222,12 @@ class Controller:
         self.telemetry.observe_time("job_response_s", now - job.submit_time)
         self.event_log.log(now, _ev.FINISH, job.jid,
                            f"runtime={now - (job.start_time or now):.0f}s")
+        if prov.enabled:
+            prov.scope = prov.emit(
+                "finish", jid=job.jid,
+                response_s=now - job.submit_time,
+                runtime_s=now - (job.start_time or now),
+            )
         self.result.records.append(self._record_of(job, now))
         self.result.makespan = max(self.result.makespan, now)
         touched = list(alloc.nodes) + list(alloc.lender_ids())
@@ -194,6 +241,13 @@ class Controller:
         self._account(now)
         tel = self.telemetry
         tel.inc("mem_update_ticks")
+        prov = self.prov
+        if prov.enabled:
+            prov.now = now
+            prov.scope = prov.emit(
+                "mem_update", parents=(), running=len(self.running)
+            )
+        tick_scope = prov.scope
         with tel.span("controller.mem_update", now):
             affected: Set[int] = set()
             freed = False
@@ -202,6 +256,10 @@ class Controller:
                 job = self.running.get(jid)
                 if job is None or job.state is not JobState.RUNNING:
                     continue
+                if prov.enabled:
+                    # The policy scopes its events under its own "decide";
+                    # each job's loop turn restarts from the tick root.
+                    prov.scope = tick_scope
                 self._advance(job, now)
                 window = self.config.update_interval / max(job.slowdown, 1.0)
                 outcome = self.policy.update(job, job.work_done, window)
@@ -221,6 +279,12 @@ class Controller:
                         now, _ev.RESIZE, job.jid,
                         f"freed={outcome.freed_mb}MB grown={outcome.grown_mb}MB",
                     )
+                    if prov.enabled:
+                        prov.emit(
+                            "resize", jid=job.jid,
+                            freed_mb=outcome.freed_mb,
+                            grown_mb=outcome.grown_mb,
+                        )
                 if outcome.touched_nodes:
                     affected.update(
                         self.model.affected_jobs(self.cluster, outcome.touched_nodes)
@@ -229,6 +293,8 @@ class Controller:
                     freed = True
             # Executor: push the decided changes back into the engine by
             # repricing affected finish events (paper Fig. 1a).
+            if prov.enabled:
+                prov.scope = tick_scope
             with tel.phase("executor"):
                 self._reprice(affected, now)
         tel.flush_phases(now, "policy")
@@ -267,11 +333,16 @@ class Controller:
         blocked: Optional[Job] = None
         shadow = float("inf")
         backfill_seen = 0
+        # Blame-enabled passes classify every planning failure; the
+        # disabled path keeps the bare `_try_plan` hot loop.
+        reasons: Optional[Dict[int, str]] = (
+            {} if self.blame is not None else None
+        )
         for job in consider:
             if job.state is not JobState.PENDING:
                 continue
             if blocked is None:
-                alloc = self._try_plan(job)
+                alloc = self._plan_for(job, reasons)
                 if alloc is not None:
                     self._start(job, alloc, now)
                     continue
@@ -289,16 +360,23 @@ class Controller:
                         now,
                         self.policy.uses_disaggregation,
                     )
+                if self.prov.enabled:
+                    self.prov.emit(
+                        "backfill_shadow", jid=job.jid,
+                        shadow_t=shadow if math.isfinite(shadow) else None,
+                    )
                 continue
             backfill_seen += 1
             if backfill_seen > self.config.backfill_depth:
                 break
             if not can_backfill(job, now, shadow):
                 continue
-            alloc = self._try_plan(job)
+            alloc = self._plan_for(job, reasons)
             if alloc is not None:
                 self._start(job, alloc, now)
                 self.telemetry.inc("backfill_starts")
+        if reasons is not None:
+            self._attribute_wait(now, reasons)
 
     def _try_plan(self, job: Job) -> Optional[JobAllocation]:
         """Cheap feasibility pre-checks, then the policy's planner."""
@@ -313,11 +391,75 @@ class Controller:
                 return None
         return self.policy.plan(job)
 
+    def _plan_for(
+        self, job: Job, reasons: Optional[Dict[int, str]]
+    ) -> Optional[JobAllocation]:
+        if reasons is None:
+            return self._try_plan(job)
+        return self._plan_or_reason(job, reasons)
+
+    def _plan_or_reason(
+        self, job: Job, reasons: Dict[int, str]
+    ) -> Optional[JobAllocation]:
+        """:meth:`_try_plan` plus a wait-blame class on failure.
+
+        Mirrors the pre-checks exactly, mapping each to its cause:
+        startable/idle shortfalls split into head-of-line blocking vs
+        the memory-node rule, the local-DRAM totals check is a local
+        shortfall, and a planner failure past the pre-checks means the
+        pool could not assemble the lender set (disaggregated) or no
+        fitting node combination existed (baseline).
+        """
+        c = self.cluster
+        if self.policy.uses_disaggregation:
+            if c.startable_count < job.n_nodes:
+                reasons[job.jid] = (
+                    WAIT_MEMNODE if c.n_idle() >= job.n_nodes else WAIT_HOL
+                )
+                return None
+            if job.n_nodes * job.mem_request_mb > c.free_local_total:
+                reasons[job.jid] = WAIT_LOCAL
+                return None
+        else:
+            if c.fitting_idle_count(job.mem_request_mb) < job.n_nodes:
+                reasons[job.jid] = (
+                    WAIT_LOCAL if c.n_idle() >= job.n_nodes else WAIT_HOL
+                )
+                return None
+        alloc = self.policy.plan(job)
+        if alloc is None:
+            reasons[job.jid] = (
+                WAIT_LENDER if self.policy.uses_disaggregation else WAIT_LOCAL
+            )
+        return alloc
+
+    def _attribute_wait(self, now: float, reasons: Dict[int, str]) -> None:
+        """Charge each still-pending job's interval since the last pass.
+
+        Jobs the pass examined get their classified reason; the rest
+        (behind the queue-depth window or ineligible to backfill) are
+        head-of-line blocked by definition.  A ``wait_blame`` provenance
+        event marks each *transition* of a job's blamed cause.
+        """
+        blame = self.blame
+        prov = self.prov
+        for job in self.pending:
+            if job.state is not JobState.PENDING:
+                continue
+            reason = reasons.get(job.jid, WAIT_HOL)
+            changed = blame.attribute(job.jid, now, reason)
+            if changed and prov.enabled:
+                prov.emit("wait_blame", jid=job.jid, reason=reason)
+
     # ------------------------------------------------------------------
     # Job lifecycle
     # ------------------------------------------------------------------
     def _start(self, job: Job, alloc: JobAllocation, now: float) -> None:
         self.pending.remove(job)
+        if self.blame is not None:
+            # Close the wait episode: the residual interval since the
+            # last sched pass goes to the job's last classified reason.
+            self.blame.started(job.jid, now)
         self.cluster.apply(job.jid, alloc)
         job.set_state(JobState.RUNNING)
         job.start_time = now
@@ -334,6 +476,19 @@ class Controller:
             f"local={alloc.total_local()}MB remote={alloc.total_remote()}MB "
             f"slowdown={job.slowdown:.3f}",
         )
+        prov = self.prov
+        if prov.enabled:
+            start_eid = prov.emit(
+                "start", jid=job.jid,
+                nodes=len(alloc.nodes),
+                local_mb=alloc.total_local(),
+                remote_mb=alloc.total_remote(),
+                slowdown=job.slowdown,
+                wait_s=now - job.submit_time,
+            )
+            bd = self.model.slowdown_breakdown(job, self.cluster, self.jobs)
+            if bd is not None and bd["rf"] > 0.0:
+                prov.emit("slowdown", jid=job.jid, parents=(start_eid,), **bd)
         self._schedule_finish(job, now)
         if self.config.enforce_walltime:
             self.wall_events[job.jid] = self.engine.at(
@@ -356,6 +511,10 @@ class Controller:
         now = engine.now
         self._account(now)
         self._advance(job, now)
+        prov = self.prov
+        if prov.enabled:
+            prov.now = now
+            prov.scope = None
         alloc = self.cluster.release(job.jid)
         self.running.pop(job.jid, None)
         fev = self.finish_events.pop(job.jid, None)
@@ -366,6 +525,10 @@ class Controller:
         self.telemetry.inc("timeouts")
         self.event_log.log(now, _ev.TIMEOUT, job.jid,
                            f"limit={job.walltime_limit:.0f}s")
+        if prov.enabled:
+            prov.scope = prov.emit(
+                "timeout", jid=job.jid, limit_s=job.walltime_limit
+            )
         job.finish_time = now
         self.policy.on_finish(job)
         self.result.timeouts += 1
@@ -393,6 +556,9 @@ class Controller:
         self.telemetry.inc("oom_kills")
         self.event_log.log(now, _ev.OOM_KILL, job.jid,
                            f"restarts={job.restarts + 1}")
+        prov = self.prov
+        if prov.enabled:
+            prov.emit("oom_kill", jid=job.jid, restarts=job.restarts + 1)
         self.result.oom_kills += 1
         keep = getattr(self.policy, "checkpoint_restart", False)
         boost = getattr(self.policy, "oom_priority_boost", False)
@@ -400,6 +566,10 @@ class Controller:
         job.reset_for_restart(now, keep_checkpoint=keep, keep_priority=boost,
                               checkpoint_quantum=quantum)
         self.pending.add(job)
+        if self.blame is not None:
+            # A requeued job opens a fresh wait episode; its components
+            # keep accumulating into the same per-job buckets.
+            self.blame.enqueued(job.jid, now)
         touched = list(alloc.nodes) + list(alloc.lender_ids())
         return self.model.affected_jobs(self.cluster, touched)
 
@@ -425,6 +595,7 @@ class Controller:
 
     def _reprice(self, jids: Iterable[int], now: float) -> None:
         cache: Dict[int, float] = {}
+        prov = self.prov
         for jid in sorted(set(jids)):
             job = self.running.get(jid)
             if job is None or job.state is not JobState.RUNNING:
@@ -432,8 +603,36 @@ class Controller:
             self._advance(job, now)
             new_s = self.model.slowdown(job, self.cluster, self.jobs, cache)
             if abs(new_s - job.slowdown) > _REPRICE_EPS:
+                if prov.enabled:
+                    data = {"old": job.slowdown, "new": new_s}
+                    bd = self.model.slowdown_breakdown(
+                        job, self.cluster, self.jobs
+                    )
+                    if bd is not None:
+                        data["lenders"] = bd["lenders"]
+                        data["contention"] = bd["contention"]
+                        data["base_remote"] = bd["base_remote"]
+                    prov.emit("slowdown", jid=jid, **data)
                 job.slowdown = new_s
                 self._schedule_finish(job, now)
+
+    # ------------------------------------------------------------------
+    # Provenance taps (installed only when provenance is enabled)
+    # ------------------------------------------------------------------
+    def _prov_cluster_tap(self, kind: str, jid: int, alloc) -> None:
+        """Cluster mutator delta (whole-allocation apply/release)."""
+        self.prov.emit(
+            "cluster." + kind, jid=jid,
+            nodes=len(alloc.nodes),
+            local_mb=alloc.total_local(),
+            remote_mb=alloc.total_remote(),
+        )
+
+    def _prov_demand_dirty(self, cluster, lenders) -> None:
+        """PR 5 listener pub/sub: lender demand ledgers went dirty."""
+        self.prov.emit(
+            "demand_dirty", lenders=[int(lender) for lender in lenders]
+        )
 
     # ------------------------------------------------------------------
     # Timers

@@ -63,8 +63,10 @@ def simulate(
         metric counters/gauges sampled on its simulated-time cadence,
         control-loop spans, and (unless ``log_events`` already asked for
         an unbounded log) a ring-buffered event log attached to
-        ``telemetry.event_log``.  ``None`` (default) keeps every hook a
-        no-op.
+        ``telemetry.event_log``.  When the telemetry carries provenance
+        (the default), the run also records the causal event graph and
+        per-job wait blame (``result.meta["blame"]``, ``repro explain``).
+        ``None`` (default) keeps every hook a no-op.
     """
     engine = Engine()
     if isinstance(policy, str):
@@ -119,4 +121,8 @@ def simulate(
             "total_capacity_mb", cluster.total_capacity_mb()
         )
         telemetry.finish(result)
+        if telemetry.blame is not None:
+            # Blame decomposition in the result too, so callers (and the
+            # property tests) need not round-trip through export().
+            result.meta["blame"] = telemetry.blame.to_dict()
     return result

@@ -210,6 +210,59 @@ class ContentionModel:
         return min(s, MAX_SLOWDOWN)
 
     # ------------------------------------------------------------------
+    def slowdown_breakdown(
+        self, job: Job, cluster: Cluster, jobs: Dict[int, Job]
+    ) -> Optional[Dict[str, object]]:
+        """Decompose the current slowdown into per-lender contributions.
+
+        ``slowdown - 1 = base_remote + Σ lender contributions`` (before
+        the ``MAX_SLOWDOWN`` cap): ``base_remote = rs·rf·d`` is the
+        remote-placement term, and each lender adds
+        ``base_remote · cs · (mb/total_mb) · oversubscription`` — its
+        MB-weighted share of the contention term.  Returns ``None``
+        when the job has no allocation (or the model prices nothing).
+        """
+        alloc = cluster.allocations.get(job.jid)
+        if alloc is None:
+            return None
+        rf = alloc.remote_fraction()
+        if rf <= 0.0:
+            return {"slowdown": 1.0, "rf": 0.0, "base_remote": 0.0,
+                    "contention": 0.0, "lenders": []}
+        prof = self.profiles[job.profile]
+        d = self._distance_factor(cluster, alloc)
+        shares = []
+        total_mb = 0
+        weighted = 0.0
+        for lender, mb in alloc.lenders():
+            osub = self.oversubscription(cluster, jobs, lender)
+            shares.append((int(lender), int(mb), osub))
+            weighted += mb * osub
+            total_mb += mb
+        contention = weighted / total_mb if total_mb else 0.0
+        base = prof.remote_sensitivity * rf * d
+        cs = prof.contention_sensitivity
+        lenders = [
+            {
+                "lender": lender,
+                "mb": mb,
+                "oversubscription": osub,
+                "contribution": base * cs * (mb / total_mb) * osub,
+            }
+            for lender, mb, osub in shares
+        ]
+        uncapped = 1.0 + base * (1.0 + cs * contention)
+        return {
+            "slowdown": min(uncapped, MAX_SLOWDOWN),
+            "uncapped": uncapped,
+            "rf": rf,
+            "distance_factor": d,
+            "contention": contention,
+            "base_remote": base,
+            "lenders": lenders,
+        }
+
+    # ------------------------------------------------------------------
     def affected_jobs(
         self, cluster: Cluster, touched_nodes: Iterable[int]
     ) -> Set[int]:
@@ -245,6 +298,9 @@ class NullContentionModel(ContentionModel):
 
     def slowdown(self, job, cluster, jobs, osub_cache=None) -> float:
         return 1.0
+
+    def slowdown_breakdown(self, job, cluster, jobs):
+        return None  # nothing is priced, so there is nothing to split
 
     def affected_jobs(self, cluster, touched_nodes):
         return set()

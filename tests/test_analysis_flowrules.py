@@ -339,6 +339,66 @@ def test_inv103_silent_lender_write():
     assert len(findings_for(sources, "INV103")) == 1
 
 
+def test_inv104_untapped_remote_write_fires():
+    sources = {
+        "repro/cluster/led.py": (
+            "class Led:\n"
+            "    def __init__(self, n):\n"
+            "        self.remote_held_mb = [0] * n\n"
+            "\n"
+            "    def _notify_demand(self, lenders):\n"
+            "        pass\n"
+            "\n"
+            "    def silent(self, node, mb):\n"
+            "        self.remote_held_mb[node] += mb\n"
+            "\n"
+            "    def check_invariants(self):\n"
+            "        pass\n"
+        ),
+    }
+    assert len(findings_for(sources, "INV104")) == 1
+
+
+def test_inv104_transitive_notify_is_clean():
+    sources = {
+        "repro/cluster/led.py": (
+            "class Led:\n"
+            "    def __init__(self, n):\n"
+            "        self.remote_held_mb = [0] * n\n"
+            "        self.allocations = {}\n"
+            "\n"
+            "    def _notify_demand(self, lenders):\n"
+            "        pass\n"
+            "\n"
+            "    def _touch(self, node):\n"
+            "        self._notify_demand([node])\n"
+            "\n"
+            "    def add_remote(self, jid, node, mb, alloc):\n"
+            "        self.remote_held_mb[node] += mb\n"
+            "        self.allocations[jid] = alloc\n"
+            "        self._touch(node)\n"
+            "\n"
+            "    def check_invariants(self):\n"
+            "        pass\n"
+        ),
+    }
+    assert findings_for(sources, "INV104") == []
+
+
+def test_inv104_ignores_non_owner_classes():
+    sources = {
+        "repro/cluster/other.py": (
+            "class NotALedger:\n"
+            "    def __init__(self, n):\n"
+            "        self.remote_held_mb = [0] * n\n"
+            "\n"
+            "    def poke(self, node, mb):\n"
+            "        self.remote_held_mb[node] += mb\n"
+        ),
+    }
+    assert findings_for(sources, "INV104") == []
+
+
 def test_shallow_rules_still_run_in_project_mode():
     sources = {
         "repro/core/x.py": "def f(total, n):\n    share_mb = total / n\n    return share_mb\n",

@@ -20,6 +20,7 @@ EXPECTED_DEEP_RULES = EXPECTED_RULES + [
     "INV101",
     "INV102",
     "INV103",
+    "INV104",
     "RACE001",
     "RACE002",
     "RACE003",

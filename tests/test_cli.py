@@ -234,6 +234,72 @@ def test_simulate_telemetry_and_trace(tmp_path, capsys):
     assert "sampled series" in capsys.readouterr().out
 
 
+def test_trace_strict_and_perfetto(tmp_path, capsys):
+    tel_dir = tmp_path / "tel"
+    assert main(["simulate", "--jobs", "15", "--nodes", "48",
+                 "--telemetry", str(tel_dir)]) == 0
+    capsys.readouterr()
+    # No truncation happened: --strict passes.
+    rc = main(["trace", str(tel_dir), "--job", "0", "--strict"])
+    assert rc == 0
+    capsys.readouterr()
+    trace_out = tmp_path / "t.json"
+    rc = main(["trace", str(tel_dir), "--perfetto", str(trace_out)])
+    assert rc == 0
+    assert "wrote Perfetto trace" in capsys.readouterr().out
+    doc = json.loads(trace_out.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_strict_fails_on_truncated_log(tmp_path, capsys):
+    tel_dir = tmp_path / "tel"
+    assert main(["simulate", "--jobs", "15", "--nodes", "48",
+                 "--telemetry", str(tel_dir)]) == 0
+    capsys.readouterr()
+    # Simulate a ring-buffered export: stamp drops into the metadata.
+    meta_path = tel_dir / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["events_dropped"] = 7
+    meta_path.write_text(json.dumps(meta))
+    rc = main(["trace", str(tel_dir), "--job", "0"])
+    assert rc == 0  # marker only, non-strict stays green
+    assert "[truncated: 7 events evicted]" in capsys.readouterr().out
+    rc = main(["trace", str(tel_dir), "--job", "0", "--strict"])
+    assert rc == 1
+    assert "truncat" in capsys.readouterr().out
+
+
+def test_explain_command(tmp_path, capsys):
+    tel_dir = tmp_path / "tel"
+    assert main(["simulate", "--jobs", "20", "--nodes", "48",
+                 "--memory-level", "50", "--telemetry", str(tel_dir)]) == 0
+    capsys.readouterr()
+    rc = main(["explain", str(tel_dir), "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "job 0 lifecycle" in out
+    assert "wait-time blame" in out
+    assert "recorded wait" in out
+    assert "causal why-chain" in out
+
+
+def test_diff_command_identical_and_divergent(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    c = tmp_path / "c"
+    for tel_dir, seed in ((a, "1"), (b, "1"), (c, "5")):
+        assert main(["simulate", "--jobs", "15", "--nodes", "48",
+                     "--seed", seed, "--telemetry", str(tel_dir)]) == 0
+    capsys.readouterr()
+    rc = main(["diff", str(a), str(b)])
+    assert rc == 0
+    assert "identical" in capsys.readouterr().out
+    rc = main(["diff", str(a), str(c)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "first divergence" in out or "diverge" in out
+
+
 def test_quiet_silences_status_lines(tmp_path, capsys):
     out_file = tmp_path / "wl.json"
     rc = main(["generate", "--jobs", "10", "--nodes", "32", "-q",

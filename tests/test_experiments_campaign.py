@@ -125,12 +125,39 @@ def test_campaign_telemetry_merge_identical_serial_vs_parallel(tmp_path):
     runner.clear_caches()
     run_campaign(scenarios(), tmp_path / "p.jsonl", workers=2,
                  telemetry_dir=parallel_dir)
-    for name in ("metrics.jsonl", "metrics.csv", "metrics.prom"):
+    for name in ("metrics.jsonl", "metrics.csv", "metrics.prom",
+                 "provenance.jsonl"):
         assert (serial_dir / name).read_bytes() \
             == (parallel_dir / name).read_bytes(), name
     # Per-scenario dumps carry the namespaced slug prefix in the merge.
     merged = (serial_dir / "metrics.jsonl").read_text()
     assert "-static-" in merged and "-dynamic-" in merged
+    # The merged provenance stream tags each row with its run slug, in
+    # sorted-slug order (a pure function of the scenario set).
+    prov_lines = (serial_dir / "provenance.jsonl").read_text().splitlines()
+    assert prov_lines
+    runs = [json.loads(line)["run"] for line in prov_lines]
+    assert runs == sorted(runs)
+    assert len(set(runs)) == 2
+    for line in prov_lines[:5]:
+        row = json.loads(line)
+        assert {"run", "eid", "kind", "t"} <= set(row)
+
+
+def test_campaign_rerun_restores_missing_provenance_dump(tmp_path):
+    tel_dir = tmp_path / "tel"
+    path = tmp_path / "camp.jsonl"
+    run_campaign(scenarios(), path, telemetry_dir=tel_dir)
+    provs = sorted((tel_dir / "scenarios").glob("*.prov.jsonl"))
+    assert len(provs) == 2
+    before = provs[0].read_bytes()
+    assert before  # scenarios actually emit provenance
+    provs[0].unlink()
+    runner.clear_caches()
+    records = run_campaign(scenarios(), path, telemetry_dir=tel_dir)
+    assert provs[0].read_bytes() == before
+    assert len(records) == 2
+    assert len(path.read_text().strip().splitlines()) == 2
 
 
 def test_campaign_rerun_restores_missing_telemetry_dump(tmp_path):

@@ -81,8 +81,9 @@ def test_export_directory_layout(workload, tmp_path):
     _run(workload, telemetry=tel)
     out = tel.export(tmp_path / "tel")
     names = sorted(p.name for p in out.iterdir())
-    assert names == ["events.jsonl", "meta.json", "metrics.csv",
-                     "metrics.jsonl", "metrics.prom", "spans.jsonl"]
+    assert names == ["blame.json", "events.jsonl", "meta.json",
+                     "metrics.csv", "metrics.jsonl", "metrics.prom",
+                     "provenance.jsonl", "spans.jsonl"]
     samples = parse_prometheus_text((out / "metrics.prom").read_text())
     assert samples["repro_jobs_finished_total"] == len(workload)
     events = [json.loads(line)
