@@ -10,7 +10,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint lint-deep lint-json lint-sarif test check \
 	bench-parallel bench-obs obs-smoke bench-sim bench-sim-16k bench-lint \
-	bench-check
+	bench-whatif bench-check
 
 lint:
 	$(PYTHON) -m repro.cli lint src/repro
@@ -66,6 +66,13 @@ bench-sim-16k:
 # benchmarks/output/BENCH_lint.json
 bench-lint:
 	$(PYTHON) benchmarks/bench_lint.py
+
+# What-if forks vs fresh simulations (query latency, prefix-memoized
+# policy grid, 16k-node COW efficiency); writes
+# benchmarks/output/BENCH_whatif.json and exits non-zero when the
+# acceptance thresholds (10x / 1.5x / <10%) are missed.
+bench-whatif:
+	$(PYTHON) benchmarks/bench_whatif.py
 
 # Regression gate: each bench driver appends its headline time to
 # benchmarks/output/BENCH_history.jsonl; fail if the latest run of any

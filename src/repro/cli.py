@@ -6,6 +6,9 @@
   (JSON, optionally gzipped; SWF export for external Slurm tooling);
 * ``simulate`` — run one policy on a system configuration over a saved
   or freshly generated workload;
+* ``whatif`` — fork a simulation mid-run (copy-on-write snapshot) and
+  compare a counterfactual future — an extra job, a policy switch,
+  late-provisioned memory nodes — against the recorded one;
 * ``figure`` / ``table`` — regenerate any of the paper's figures/tables
   and print the report;
 * ``inspect`` — characterise a saved workload (Table 2/3 style);
@@ -125,6 +128,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "to this directory (read back with 'repro trace')")
 
     # ------------------------------------------------------------------
+    wi = sub.add_parser(
+        "whatif",
+        help="fork a simulation at a point in time and compare the "
+             "perturbed future against the recorded one",
+        parents=[common],
+    )
+    wi.add_argument("--workload", help="saved workload (from 'generate')")
+    wi.add_argument("--jobs", type=int, default=500,
+                    help="jobs to generate when no workload file is given")
+    wi.add_argument("--frac-large", type=float, default=0.25)
+    wi.add_argument("--overestimation", type=float, default=0.0)
+    wi.add_argument("--policy", choices=("baseline", "static", "dynamic"),
+                    default="dynamic")
+    wi.add_argument("--nodes", type=int, default=256)
+    wi.add_argument("--memory-level", type=int, default=100,
+                    choices=sorted(MEMORY_LEVELS))
+    wi.add_argument("--update-interval", type=float, default=300.0)
+    wi.add_argument("--seed", type=int, default=0)
+    wi.add_argument("--at", type=float, default=0.0, metavar="TIME",
+                    help="fork time in simulated seconds (default 0)")
+    what = wi.add_mutually_exclusive_group(required=True)
+    what.add_argument("--submit", metavar="NODES:RUNTIME:MEM_MB[:WALL]",
+                      help="inject one extra job at the fork time")
+    what.add_argument("--swap-policy", metavar="POLICY",
+                      choices=("baseline", "static", "dynamic"),
+                      help="switch allocation policy from the fork time on")
+    what.add_argument("--add-memnodes", type=int, metavar="N",
+                      help="grow memory capacity on N idle nodes")
+    wi.add_argument("--extra-mb", type=int, default=65536,
+                    help="extra MB per node for --add-memnodes "
+                         "(default 65536)")
+
+    # ------------------------------------------------------------------
     fig = sub.add_parser("figure", help="regenerate a paper figure",
                          parents=[common])
     fig.add_argument("number", type=int, choices=(2, 4, 5, 6, 7, 8, 9))
@@ -195,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="collect per-scenario metric dumps under DIR and "
                            "merge them (deterministically) into "
                            "DIR/metrics.{jsonl,csv,prom}")
+    camp.add_argument("--trace-cache", metavar="DIR",
+                      help="share generated workload traces across runs and "
+                           "pool workers through this on-disk cache "
+                           "directory")
 
     # ------------------------------------------------------------------
     tr = sub.add_parser(
@@ -340,6 +380,59 @@ def _cmd_simulate(args) -> int:
             f"({len(telemetry.registry.counters)} counters, "
             f"{n_spans} spans, {n_events} events); "
             f"inspect with: repro trace {args.telemetry}")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from .whatif import AddMemNodes, SubmitJob, SwapPolicy, WhatIf
+
+    if args.workload:
+        wl = load_workload(args.workload)
+        jobs = wl.fresh_jobs()
+        profiles = wl.profiles
+    else:
+        wl = synthetic_workload(
+            n_jobs=args.jobs,
+            frac_large=args.frac_large,
+            overestimation=args.overestimation,
+            n_system_nodes=args.nodes,
+            seed=args.seed,
+        )
+        jobs = wl.jobs
+        profiles = wl.profiles
+    config = SystemConfig.from_memory_level(
+        args.memory_level, n_nodes=args.nodes,
+        update_interval=args.update_interval,
+    )
+    if args.submit:
+        parts = args.submit.split(":")
+        if len(parts) not in (3, 4):
+            raise SystemExit(
+                "--submit expects NODES:RUNTIME:MEM_MB[:WALLTIME], got "
+                f"{args.submit!r}")
+        perturbation = SubmitJob(
+            n_nodes=int(parts[0]),
+            base_runtime=float(parts[1]),
+            mem_request_mb=int(parts[2]),
+            walltime_limit=float(parts[3]) if len(parts) == 4 else None,
+        )
+    elif args.swap_policy:
+        perturbation = SwapPolicy(args.swap_policy)
+    else:
+        perturbation = AddMemNodes(args.add_memnodes, args.extra_mb)
+    console.detail(
+        f"forking {len(jobs)} jobs on {args.nodes} nodes "
+        f"({args.policy}, {args.memory_level}% memory) at t={args.at:g}s")
+    session = WhatIf(
+        jobs, config, policy=args.policy, at=args.at, profiles=profiles,
+    )
+    report = session.query(perturbation)
+    console.result(report.render())
+    stats = session.stats()
+    console.detail(
+        f"replayed {report.events_replayed} events; restored "
+        f"{report.pages_restored} COW pages "
+        f"({stats['cow_bytes_copied']} bytes copied since fork)")
     return 0
 
 
@@ -515,6 +608,14 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    if args.trace_cache:
+        import os
+
+        from .traces.cache import TRACE_CACHE_ENV
+
+        # Environment, not a parameter: pool workers inherit it.
+        os.environ[TRACE_CACHE_ENV] = args.trace_cache
+        console.status(f"sharing generated traces via {args.trace_cache}")
     scale = SCALES[args.scale]
     kw = {}
     if args.memory_levels:
@@ -635,6 +736,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
+    "whatif": _cmd_whatif,
     "figure": _cmd_figure,
     "table": _cmd_table,
     "inspect": _cmd_inspect,

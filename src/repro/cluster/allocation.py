@@ -238,3 +238,52 @@ class JobAllocation:
             local_mb=dict(self.local_mb),
             remote_mb={n: dict(m) for n, m in self.remote_mb.items()},
         )
+
+    # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deep-copy the record *including* its sealed caches.
+
+        The sealed ``_lender_mb`` dict's key order is maintenance order —
+        ``Cluster._release`` iterates it, so float-free but
+        order-visible downstream effects (free-log entry order,
+        provenance rows) depend on it.  Re-sealing from the maps would
+        give first-appearance order instead; copying the dicts
+        preserves insertion order exactly.
+        """
+        return {
+            "nodes": list(self.nodes),
+            "local_mb": dict(self.local_mb),
+            "remote_mb": {n: dict(m) for n, m in self.remote_mb.items()},
+            "total_local": self._total_local,
+            "total_remote": self._total_remote,
+            "remote_on": (
+                dict(self._remote_on) if self._remote_on is not None else None
+            ),
+            "lender_mb": (
+                dict(self._lender_mb) if self._lender_mb is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object]) -> "JobAllocation":
+        """Rebuild from :meth:`snapshot_state` (copies again, so the
+        captured state stays restorable any number of times)."""
+        alloc = cls(
+            nodes=list(state["nodes"]),
+            local_mb=dict(state["local_mb"]),
+            remote_mb={n: dict(m) for n, m in state["remote_mb"].items()},
+        )
+        alloc._total_local = state["total_local"]
+        alloc._total_remote = state["total_remote"]
+        alloc._remote_on = (
+            dict(state["remote_on"]) if state["remote_on"] is not None else None
+        )
+        alloc._lender_mb = (
+            dict(state["lender_mb"]) if state["lender_mb"] is not None else None
+        )
+        if state["total_local"] is not None:
+            alloc._node_set = frozenset(alloc.nodes)
+            alloc._nodes_arr = np.asarray(alloc.nodes, dtype=np.int64)
+        return alloc

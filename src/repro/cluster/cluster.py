@@ -48,7 +48,7 @@ from ..core.config import SystemConfig
 from ..core.errors import AllocationError
 from ..obs.profiling import perf_section
 from .allocation import JobAllocation
-from .columns import NodeColumns
+from .columns import ColumnPageStore, NodeColumns
 from .node import Node
 
 #: Bound on the free-ledger delta log.  When it overflows, the oldest
@@ -132,6 +132,94 @@ class Cluster:
         #: provenance tap, called as ``tap(kind, jid, alloc)`` after a
         #: whole-allocation mutation commits (None = disabled, free)
         self._prov_tap: Optional[Callable[[str, int, JobAllocation], None]] = None
+        #: armed copy-on-write page store (None = disabled, one branch
+        #: per mutator).  While armed, every columnar write preserves
+        #: the pages it touches so a snapshot can roll them back in
+        #: O(changed pages); see :mod:`repro.whatif`.
+        self._cow: Optional[ColumnPageStore] = None
+
+    # ------------------------------------------------------------------
+    # Copy-on-write arming (the snapshot/fork primitive)
+    # ------------------------------------------------------------------
+    def arm_cow(self, page_nodes: Optional[int] = None) -> ColumnPageStore:
+        """Arm (or return the armed) COW page store over the columns."""
+        if self._cow is None:
+            if page_nodes is None:
+                self._cow = ColumnPageStore(self.columns)
+            else:
+                self._cow = ColumnPageStore(self.columns, page_nodes)
+        return self._cow
+
+    def disarm_cow(self) -> None:
+        """Disarm COW tracking (pending dirty pages are forgotten)."""
+        self._cow = None
+
+    # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    #: python-side ledger scalars captured/restored positionally
+    _SNAPSHOT_SCALARS = (
+        "busy_count",
+        "busy_large_count",
+        "local_used_total",
+        "lent_total",
+        "memory_node_count",
+        "startable_count",
+        "_total_capacity",
+        "generation",
+        "_free_log_base",
+        "free_log_overflows",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Capture the python-side ledger state (allocations, lender
+        maps, aggregates, generation log).
+
+        The columnar arrays are *not* captured here — the what-if
+        snapshot preserves them page-by-page through the armed
+        :class:`~repro.cluster.columns.ColumnPageStore`.
+        """
+        return {
+            "allocations": {
+                jid: alloc.snapshot_state()
+                for jid, alloc in self.allocations.items()
+            },
+            "lender_jobs": [dict(d) for d in self.lender_jobs],
+            "scalars": tuple(
+                getattr(self, name) for name in self._SNAPSHOT_SCALARS
+            ),
+            "free_log": list(self._free_log),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`snapshot_state` in place (reusable snapshot).
+
+        Only valid together with a columnar rollback to the same
+        instant (:meth:`ColumnPageStore.rollback`) — the python ledgers
+        restored here and the numpy ledgers must describe the same
+        state, which ``check_invariants`` cross-checks.
+        """
+        # Lenders of the outgoing (fork-dirtied) *and* incoming states
+        # may change demand; everything else is untouched either way.
+        dirty = set()
+        for alloc in self.allocations.values():
+            dirty.update(alloc.lender_ids())
+        self.allocations = {
+            jid: JobAllocation.from_snapshot(s)
+            for jid, s in state["allocations"].items()
+        }
+        for alloc in self.allocations.values():
+            dirty.update(alloc.lender_ids())
+        for node, borrowed in enumerate(state["lender_jobs"]):
+            self.lender_jobs[node] = dict(borrowed)
+        for name, value in zip(self._SNAPSHOT_SCALARS, state["scalars"]):
+            setattr(self, name, value)
+        self._free_log = list(state["free_log"])
+        # Invalidate listener-maintained demand ledgers (the contention
+        # model's cache) for the affected lenders.  A provenance-tapped
+        # restore emits a demand_dirty row here; the what-if snapshot
+        # restores the provenance log afterwards, so forks stay clean.
+        self._notify_demand(sorted(dirty))
 
     # ------------------------------------------------------------------
     # Interconnect (lazy; used by topology-aware lending and the optional
@@ -389,6 +477,8 @@ class Cluster:
             self.free_log_overflows += 1
 
     def _touch_local(self, node: int, delta: int) -> None:
+        if self._cow is not None:
+            self._cow.touch(node)
         self.local_used_mb[node] += delta
         self._free_local[node] -= delta
         self.local_used_total += delta
@@ -396,6 +486,8 @@ class Cluster:
 
     def _touch_local_many(self, nodes: np.ndarray, deltas: np.ndarray) -> None:
         """Columnar bulk :meth:`_touch_local` (``nodes`` must be unique)."""
+        if self._cow is not None:
+            self._cow.touch_many(nodes)
         self.local_used_mb[nodes] += deltas
         self._free_local[nodes] -= deltas
         self.local_used_total += int(deltas.sum())
@@ -408,6 +500,8 @@ class Cluster:
         within one bulk call, so each node flips memory-node status at
         most once either way.
         """
+        if self._cow is not None:
+            self._cow.touch_many(nodes)
         self.lent_mb[nodes] += deltas
         self._free_local[nodes] -= deltas
         self.lent_total += int(deltas.sum())
@@ -424,6 +518,8 @@ class Cluster:
             self.startable_count -= int((idle & now_mem).sum())
 
     def _touch_lent(self, node: int, delta: int) -> None:
+        if self._cow is not None:
+            self._cow.touch(node)
         self.lent_mb[node] += delta
         self._free_local[node] -= delta
         self.lent_total += delta
@@ -436,6 +532,8 @@ class Cluster:
                 self.startable_count += -1 if is_mem else 1
 
     def _set_busy(self, node: int, jid: int) -> None:
+        if self._cow is not None:
+            self._cow.touch(node)
         self.busy[node] = True
         self.job_on_node[node] = jid
         self.busy_count += 1
@@ -445,6 +543,8 @@ class Cluster:
             self.startable_count -= 1
 
     def _set_idle(self, node: int) -> None:
+        if self._cow is not None:
+            self._cow.touch(node)
         self.busy[node] = False
         self.job_on_node[node] = -1
         self.busy_count -= 1
@@ -517,6 +617,8 @@ class Cluster:
                 )
         # Commit (columnar bulk writes; node lists are unique by
         # construction so fancy-indexed updates are exact).
+        if self._cow is not None:
+            self._cow.touch_many(nodes_arr)
         self.busy[nodes_arr] = True
         self.job_on_node[nodes_arr] = jid
         self.busy_count += len(nodes_arr)
@@ -553,6 +655,8 @@ class Cluster:
         if alloc is None:
             raise AllocationError(f"job {jid} has no allocation to release")
         nodes_arr = alloc.nodes_array()
+        if self._cow is not None:
+            self._cow.touch_many(nodes_arr)
         self.busy[nodes_arr] = False
         self.job_on_node[nodes_arr] = -1
         self.busy_count -= len(nodes_arr)
@@ -635,6 +739,8 @@ class Cluster:
             raise AllocationError(f"lender {lender}: {free}MB free, need {mb}MB")
         self._touch_lent(lender, mb)
         self.lender_jobs[lender][jid] = self.lender_jobs[lender].get(jid, 0) + mb
+        if self._cow is not None:
+            self._cow.touch(node)
         self.remote_held_mb[node] += mb
         node_map = alloc.remote_mb.setdefault(node, {})
         node_map[lender] = node_map.get(lender, 0) + mb
@@ -657,6 +763,8 @@ class Cluster:
         rec[jid] -= mb
         if rec[jid] <= 0:
             del rec[jid]
+        if self._cow is not None:
+            self._cow.touch(node)
         self.remote_held_mb[node] -= mb
         node_map[lender] = have - mb
         if node_map[lender] == 0:
@@ -675,6 +783,44 @@ class Cluster:
         if not alloc.has_node(node):
             raise AllocationError(f"node {node} is not a compute node of job {jid}")
         return alloc
+
+    # ------------------------------------------------------------------
+    # Capacity expansion (what-if: attach disaggregated memory modules)
+    # ------------------------------------------------------------------
+    def expand_capacity(self, nodes: Sequence[int], extra_mb: int) -> None:
+        """Attach ``extra_mb`` of memory to each node in ``nodes``.
+
+        Models plugging additional disaggregated memory into the fabric
+        behind those nodes (the ``add-memnodes`` what-if perturbation).
+        Free DRAM, the generation log and the memory-node flags stay
+        coherent; a node that had lent more than half its *old* capacity
+        may stop being a memory node.
+        """
+        if extra_mb <= 0:
+            raise AllocationError(
+                f"expand_capacity needs positive MB, got {extra_mb}"
+            )
+        nodes_arr = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if len(nodes_arr) == 0:
+            return
+        if (nodes_arr < 0).any() or (nodes_arr >= self.n_nodes).any():
+            raise AllocationError(f"expand_capacity: node out of range: {nodes}")
+        if self._cow is not None:
+            self._cow.touch_many(nodes_arr)
+        self.capacity_mb[nodes_arr] += extra_mb
+        self._free_local[nodes_arr] += extra_mb
+        self._total_capacity += int(extra_mb) * len(nodes_arr)
+        self._log_free_many(nodes_arr.tolist())
+        new_mem = self.lent_mb[nodes_arr] * 2 > self.capacity_mb[nodes_arr]
+        flipped = new_mem != self._memnode[nodes_arr]
+        if flipped.any():
+            flip_nodes = nodes_arr[flipped]
+            now_mem = new_mem[flipped]
+            self._memnode[flip_nodes] = now_mem
+            self.memory_node_count += int(now_mem.sum()) - int((~now_mem).sum())
+            idle = ~self.busy[flip_nodes]
+            self.startable_count += int((idle & ~now_mem).sum())
+            self.startable_count -= int((idle & now_mem).sum())
 
     # ------------------------------------------------------------------
     # Invariants

@@ -35,11 +35,13 @@ column              dtype      meaning
 
 from __future__ import annotations
 
-from typing import Dict
+import hashlib
+import os
+from typing import Dict, Iterable
 
 import numpy as np
 
-__all__ = ["NodeColumns"]
+__all__ = ["NodeColumns", "ColumnPageStore", "MUTABLE_COLUMNS", "COW_COLUMNS"]
 
 #: Mutable per-node columns captured by snapshot/restore, in a fixed
 #: order (capacity/is_large are immutable and shared, not copied).
@@ -52,6 +54,16 @@ MUTABLE_COLUMNS = (
     "free_local",
     "memnode",
 )
+
+#: Columns tracked by the copy-on-write page store.  ``capacity_mb`` is
+#: immutable under normal operation but the ``add-memnodes`` what-if
+#: perturbation boosts it, so forks must be able to roll it back too.
+COW_COLUMNS = MUTABLE_COLUMNS + ("capacity_mb",)
+
+#: Nodes per COW page.  Small enough that a ~100-node perturbation on a
+#: 16384-node cluster dirties only a few percent of the pages, large
+#: enough that page bookkeeping stays off the mutator hot path.
+PAGE_NODES = 64
 
 
 class NodeColumns:
@@ -96,16 +108,49 @@ class NodeColumns:
         return {name: getattr(self, name).copy() for name in MUTABLE_COLUMNS}
 
     def restore(self, snap: Dict[str, np.ndarray]) -> None:
-        """Write ``snap`` back **in place**, keeping aliases/views valid."""
+        """Write ``snap`` back **in place**, keeping aliases/views valid.
+
+        Shape and dtype are checked per column before any write, so a
+        snapshot taken from a differently-sized cluster fails loudly
+        instead of broadcasting into (or partially overwriting) this
+        store.  Under pytest the derived columns are re-validated after
+        the restore.
+        """
         for name in MUTABLE_COLUMNS:
             dst = getattr(self, name)
-            src = snap[name]
-            if len(src) != len(dst):
+            src = np.asarray(snap[name])
+            if src.shape != dst.shape:
                 raise ValueError(
-                    f"snapshot column '{name}' has {len(src)} entries, "
-                    f"store has {len(dst)}"
+                    f"snapshot column '{name}' has shape {src.shape}, "
+                    f"store (n_nodes={self.n_nodes}) has {dst.shape}: "
+                    "snapshot does not belong to this cluster"
                 )
-            dst[:] = src
+            if src.dtype != dst.dtype:
+                raise ValueError(
+                    f"snapshot column '{name}' has dtype {src.dtype}, "
+                    f"store expects {dst.dtype}"
+                )
+        for name in MUTABLE_COLUMNS:
+            getattr(self, name)[:] = snap[name]
+        if "PYTEST_CURRENT_TEST" in os.environ:  # pragma: no cover - test aid
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable hex digest of the full per-node state.
+
+        Reads the column bytes without materialising copies; identical
+        states (same node count, capacities and ledgers) hash equal, so
+        snapshot consumers can dedupe.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(str(self.n_nodes).encode())
+        h.update(self.is_large.tobytes())
+        for name in COW_COLUMNS:
+            h.update(getattr(self, name).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Brute-force coherence of the derived columns
@@ -124,3 +169,112 @@ class NodeColumns:
             f"local={int(self.local_used_mb.sum())}MB, "
             f"lent={int(self.lent_mb.sum())}MB)"
         )
+
+
+class ColumnPageStore:
+    """Copy-on-write page store over a :class:`NodeColumns` instance.
+
+    The store divides the node axis into fixed :data:`PAGE_NODES`-sized
+    pages.  While armed (``Cluster._cow`` points at it), every columnar
+    write first calls :meth:`touch` / :meth:`touch_many` on the nodes it
+    is about to modify; the *first* touch of a page since the last
+    :meth:`rollback` copies that page's slice of every
+    :data:`COW_COLUMNS` column into the store.  :meth:`rollback` then
+    writes only the dirtied pages back — O(changed pages), not
+    O(n_nodes) — leaving the live arrays byte-identical to the captured
+    state while every alias and view stays valid.
+
+    Pages are cached across rollbacks: a page copied once is pristine
+    forever (rollback restores the live array *from* it), so repeated
+    forks from the same snapshot never re-copy, and the store's memory
+    is bounded by the union of pages ever dirtied (worst case one full
+    columnar copy).
+
+    ``pages_copied`` / ``bytes_copied`` account actual allocations for
+    the COW-memory benchmark; :meth:`full_copy_bytes` is the comparator.
+    """
+
+    __slots__ = (
+        "columns",
+        "page_nodes",
+        "n_pages",
+        "_pages",
+        "_dirty",
+        "pages_copied",
+        "bytes_copied",
+    )
+
+    def __init__(self, columns: NodeColumns, page_nodes: int = PAGE_NODES):
+        if page_nodes <= 0:
+            raise ValueError(f"page_nodes must be positive, got {page_nodes}")
+        self.columns = columns
+        self.page_nodes = page_nodes
+        self.n_pages = -(-columns.n_nodes // page_nodes)
+        self._pages: Dict[int, tuple] = {}
+        self._dirty = np.zeros(self.n_pages, dtype=bool)
+        self.pages_copied = 0
+        self.bytes_copied = 0
+
+    # -- capture -------------------------------------------------------
+    def _copy_page(self, page: int) -> None:
+        lo = page * self.page_nodes
+        hi = min(lo + self.page_nodes, self.columns.n_nodes)
+        slices = tuple(
+            getattr(self.columns, name)[lo:hi].copy() for name in COW_COLUMNS
+        )
+        self._pages[page] = slices
+        self.pages_copied += 1
+        self.bytes_copied += sum(s.nbytes for s in slices)
+
+    def touch(self, node: int) -> None:
+        """Preserve the page holding ``node`` before it is written."""
+        page = node // self.page_nodes
+        if self._dirty[page]:
+            return
+        if page not in self._pages:
+            self._copy_page(page)
+        self._dirty[page] = True
+
+    def touch_many(self, nodes) -> None:
+        """Vector form of :meth:`touch` for bulk mutators."""
+        pages = np.unique(np.asarray(nodes, dtype=np.int64) // self.page_nodes)
+        for page in pages:
+            p = int(page)
+            if self._dirty[p]:
+                continue
+            if p not in self._pages:
+                self._copy_page(p)
+            self._dirty[p] = True
+
+    def touch_all(self) -> None:
+        """Preserve every page (whole-array writes, e.g. ``restore``)."""
+        for p in range(self.n_pages):
+            if not self._dirty[p]:
+                if p not in self._pages:
+                    self._copy_page(p)
+                self._dirty[p] = True
+
+    # -- restore -------------------------------------------------------
+    def dirty_pages(self) -> Iterable[int]:
+        return [int(p) for p in np.flatnonzero(self._dirty)]
+
+    def rollback(self) -> int:
+        """Restore all pages dirtied since capture/last rollback.
+
+        Returns the number of pages written back.  The live arrays are
+        written in place, so views and aliases survive.
+        """
+        dirty = np.flatnonzero(self._dirty)
+        for page in dirty:
+            p = int(page)
+            lo = p * self.page_nodes
+            hi = min(lo + self.page_nodes, self.columns.n_nodes)
+            slices = self._pages[p]
+            for name, saved in zip(COW_COLUMNS, slices):
+                getattr(self.columns, name)[lo:hi] = saved
+        self._dirty[:] = False
+        return int(len(dirty))
+
+    def full_copy_bytes(self) -> int:
+        """Bytes a full columnar snapshot of the tracked columns costs."""
+        return sum(getattr(self.columns, name).nbytes for name in COW_COLUMNS)

@@ -51,8 +51,20 @@ class Engine:
         """Request the run loop to exit after the current event."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None, max_events: int = 100_000_000) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 100_000_000,
+        inclusive: bool = True,
+    ) -> float:
         """Process events until the queue drains, ``until`` passes, or stop().
+
+        ``inclusive`` controls the boundary: by default events stamped
+        exactly ``until`` are processed; ``inclusive=False`` stops just
+        before them (the what-if fork semantics — events at the fork
+        time belong to the replayed suffix, so a perturbation injected
+        at the fork time interleaves with them in within-tick rank
+        order, exactly as a fresh run would order it).
 
         Returns the final clock value.
         """
@@ -62,7 +74,8 @@ class Engine:
             nxt = self.queue.peek_time()
             if nxt is None:
                 break
-            if until is not None and nxt > until:
+            if until is not None and (nxt > until or
+                                      (not inclusive and nxt >= until)):
                 self.now = until
                 break
             ev = self.queue.pop()

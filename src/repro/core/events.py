@@ -68,6 +68,11 @@ class EventQueue:
     _seq: int = 0
     _dead: set[int] = field(default_factory=set)
     _live: int = 0
+    #: live events per kind (indexed by EventKind value); lets periodic
+    #: samplers ask "is any real work left?" without scanning the heap
+    _live_kinds: list[int] = field(
+        default_factory=lambda: [0] * len(EventKind)
+    )
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event and return it (its ``seq`` is the cancel handle)."""
@@ -77,6 +82,7 @@ class EventQueue:
         heapq.heappush(self._heap, (time, int(kind), ev.seq, ev))
         self._seq += 1
         self._live += 1
+        self._live_kinds[int(kind)] += 1
         return ev
 
     def cancel(self, ev: Event) -> None:
@@ -84,6 +90,7 @@ class EventQueue:
         if ev.seq not in self._dead:
             self._dead.add(ev.seq)
             self._live -= 1
+            self._live_kinds[int(ev.kind)] -= 1
             if (
                 len(self._heap) >= _COMPACT_MIN
                 and len(self._dead) * 2 > len(self._heap)
@@ -96,6 +103,57 @@ class EventQueue:
         self._dead.clear()
         heapq.heapify(self._heap)
 
+    def compact(self) -> None:
+        """Eagerly drop all cancelled entries (snapshot hygiene).
+
+        Snapshots serialise the heap; compacting first keeps tombstones
+        out of the captured state so forks never inherit dead entries.
+        """
+        if self._dead:
+            self._compact()
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_entries(self) -> list[tuple[float, int, int, Any]]:
+        """Live heap entries as ``(time, kind, seq, payload)`` rows.
+
+        Compacts first, so the rows are exactly the live events.  The
+        row order is heap order (not sorted); ``restore_entries``
+        re-heapifies, and keys are unique, so pop order round-trips.
+        Payloads are shared by reference — callers own keeping the
+        referenced objects consistent.
+        """
+        self.compact()
+        return [(t, k, seq, ev.payload) for (t, k, seq, ev) in self._heap]
+
+    def restore_entries(
+        self, entries: list[tuple[float, int, int, Any]], seq: int
+    ) -> dict[int, Event]:
+        """Rebuild the queue in place from :meth:`snapshot_entries` rows.
+
+        ``seq`` restores the monotone sequence counter captured with the
+        rows.  Returns the rebuilt events by sequence number so callers
+        can rewire handles (e.g. the controller's cancelable finish
+        events).
+        """
+        by_seq: dict[int, Event] = {}
+        heap = []
+        for t, k, s, payload in entries:
+            ev = Event(time=t, kind=EventKind(k), seq=s, payload=payload)
+            heap.append((t, k, s, ev))
+            by_seq[s] = ev
+        heapq.heapify(heap)
+        self._heap = heap
+        self._dead = set()
+        self._live = len(heap)
+        counts = [0] * len(EventKind)
+        for _, k, _, _ in heap:
+            counts[k] += 1
+        self._live_kinds = counts
+        self._seq = seq
+        return by_seq
+
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""
         while self._heap:
@@ -104,6 +162,7 @@ class EventQueue:
                 self._dead.discard(seq)
                 continue
             self._live -= 1
+            self._live_kinds[int(ev.kind)] -= 1
             return ev
         return None
 
@@ -117,6 +176,22 @@ class EventQueue:
                 continue
             return t
         return None
+
+    def has_live_excluding(self, *kinds: EventKind) -> bool:
+        """Whether any live event of a kind *not* in ``kinds`` exists.
+
+        The periodic samplers (SAMPLE, TELEMETRY) use this as their
+        keep-running predicate.  The naive ``len(queue) > 0`` deadlocks
+        into a livelock when two sampler chains are active at once:
+        after the workload drains, each chain sees the *other* chain's
+        next event in the queue and they reschedule each other forever.
+        """
+        excluded = {int(k) for k in kinds}
+        return any(
+            count > 0
+            for kind, count in enumerate(self._live_kinds)
+            if kind not in excluded
+        )
 
     def __len__(self) -> int:
         return self._live

@@ -23,7 +23,16 @@ every record bit-for-bit identical to serial execution:
   their caches (:func:`~repro.experiments.runner.clear_caches`) once at
   pool startup; across chunks the runner's LRU bounds keep them
   memory-safe while letting a lucky worker reuse a trace it already
-  generated.
+  generated.  With ``REPRO_TRACE_CACHE`` set (see
+  :mod:`repro.traces.cache`) workers additionally share generated
+  traces on disk, so each trace is generated once per *campaign* rather
+  than once per worker.
+* **Prefix memoization** — scenarios inside a chunk that differ only in
+  policy run as a single simulation build plus per-policy
+  copy-on-write forks from a ``t=0`` snapshot
+  (:func:`_run_policy_group`): the shared prefix — workload loading and
+  cluster/controller construction — executes once per policy group, and
+  cold policy swaps are byte-identical to fresh construction.
 
 ``run_grid`` is the engine behind ``campaign.run_campaign(workers=N)``,
 ``sweep.sweep(workers=N)`` and the Fig. 5/8 producers' ``workers=``
@@ -39,14 +48,26 @@ raw[scenario_key(sc)]["normalized_throughput"]
 from __future__ import annotations
 
 import json
+import logging
 import math
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .runner import clear_caches, normalized, reference_scenario, run
+from .runner import (
+    CAMPAIGN_LOG_ENTRIES,
+    CAMPAIGN_PROV_ENTRIES,
+    base_workload,
+    clear_caches,
+    normalized,
+    reference_scenario,
+    run,
+)
 from .scenarios import Scenario
+
+log = logging.getLogger(__name__)
 
 ProgressFn = Callable[[int, int, Scenario], None]
 ResultFn = Callable[[Scenario, Dict], None]
@@ -55,6 +76,13 @@ ResultFn = Callable[[Scenario, Dict], None]
 def scenario_key(scenario: Scenario) -> str:
     """Stable identity of a scenario within a grid/campaign file."""
     return json.dumps(asdict(scenario), sort_keys=True)
+
+
+def _policy_group_key(scenario: Scenario) -> str:
+    """Scenario identity *minus* the policy axis (prefix-sharing key)."""
+    d = asdict(scenario)
+    d.pop("policy")
+    return json.dumps(d, sort_keys=True)
 
 
 # ----------------------------------------------------------------------
@@ -76,7 +104,16 @@ def raw_result(scenario: Scenario, collect_telemetry: bool = False) -> Dict:
     t0 = perf_counter()
     res = run(scenario, collect_telemetry=collect_telemetry)
     elapsed = perf_counter() - t0
-    out = {
+    out = _result_row(scenario, res, elapsed)
+    if collect_telemetry:
+        out["telemetry"] = res.meta["telemetry_dump"]
+        out["provenance"] = res.meta["provenance_dump"]
+    return out
+
+
+def _result_row(scenario: Scenario, res, elapsed: float) -> Dict:
+    """Flatten one simulation result to the picklable raw-result dict."""
+    return {
         "key": scenario_key(scenario),
         "throughput": res.throughput(),
         "all_jobs_ran": res.all_jobs_ran(),
@@ -88,17 +125,80 @@ def raw_result(scenario: Scenario, collect_telemetry: bool = False) -> Dict:
         "elapsed_s": round(elapsed, 6),
         "n_events": res.events_processed,
     }
-    if collect_telemetry:
-        out["telemetry"] = res.meta["telemetry_dump"]
-        out["provenance"] = res.meta["provenance_dump"]
-    return out
+
+
+def _run_policy_group(
+    group: List[Scenario], collect_telemetry: bool = False
+) -> List[Dict]:
+    """Simulate a policy-axis group through one shared t=0 snapshot.
+
+    All scenarios of ``group`` share everything but the policy, so the
+    expensive shared prefix — trace generation (or deserialisation) plus
+    cluster/controller wiring and workload loading — happens once: the
+    simulation is captured *before any event runs*, and each cell is a
+    cold policy fork replayed from that snapshot.  A cold swap is
+    byte-identical to fresh construction (see
+    :meth:`repro.whatif.perturb.SwapPolicy.apply`), so the rows match
+    per-scenario :func:`raw_result` calls bit for bit.
+    """
+    from ..obs.telemetry import Telemetry
+    from ..whatif import SimSnapshot, SwapPolicy
+
+    sc0 = group[0]
+    wl = base_workload(sc0)
+    if sc0.overestimation > 0:
+        jobs = wl.with_overestimation(sc0.overestimation).jobs
+    else:
+        jobs = wl.fresh_jobs()
+    telemetry = (
+        Telemetry(trace_spans=False, max_log_entries=CAMPAIGN_LOG_ENTRIES,
+                  max_prov_entries=CAMPAIGN_PROV_ENTRIES)
+        if collect_telemetry
+        else None
+    )
+    from ..scheduler.simulator import build_simulation
+
+    handle = build_simulation(
+        jobs, sc0.system_config(), policy=sc0.policy,
+        profiles=wl.profiles, telemetry=telemetry,
+    )
+    snapshot = SimSnapshot.capture(handle)
+    rows: List[Dict] = []
+    for sc in group:
+        t0 = perf_counter()
+        snapshot.restore()
+        SwapPolicy(sc.policy).apply(handle)
+        res = handle.finish()
+        row = _result_row(sc, res, perf_counter() - t0)
+        if collect_telemetry:
+            # Dump before the next cell's rollback rewinds the registry.
+            row["telemetry"] = telemetry.registry.to_dict()
+            row["provenance"] = telemetry.provenance.to_rows()
+        rows.append(row)
+    return rows
 
 
 def _run_chunk(
     scenarios: List[Scenario], collect_telemetry: bool = False
 ) -> List[Dict]:
-    """Pool-worker entry point: simulate one chunk of scenarios."""
-    return [raw_result(sc, collect_telemetry) for sc in scenarios]
+    """Pool-worker entry point: simulate one chunk of scenarios.
+
+    Scenarios differing only in policy are executed as one
+    prefix-memoized group (:func:`_run_policy_group`); the rest run
+    through the plain cached runner.  Row order matches input order.
+    """
+    groups: Dict[str, List[Scenario]] = {}
+    for sc in scenarios:
+        groups.setdefault(_policy_group_key(sc), []).append(sc)
+    by_key: Dict[str, Dict] = {}
+    for group in groups.values():
+        if len(group) > 1 and len({sc.policy for sc in group}) == len(group):
+            rows = _run_policy_group(group, collect_telemetry)
+        else:
+            rows = [raw_result(sc, collect_telemetry) for sc in group]
+        for sc, row in zip(group, rows):
+            by_key[scenario_key(sc)] = row
+    return [by_key[scenario_key(sc)] for sc in scenarios]
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +297,22 @@ def run_grid(
         unique.setdefault(scenario_key(sc), sc)
     n = len(unique)
 
-    if workers <= 1:
+    # Clamp the pool size to the machine: oversubscribed CPU-bound
+    # simulation workers only add scheduling overhead.  The clamp never
+    # crosses the serial/pool boundary — ``workers=4`` on a one-core box
+    # still runs through the pool (one worker), so behaviour differs
+    # only in degree of parallelism, never in code path.
+    use_pool = workers > 1
+    available = os.cpu_count() or 1
+    if workers > available:
+        log.warning(
+            "requested workers=%d exceeds cpu_count=%d; clamping",
+            workers,
+            available,
+        )
+        workers = available
+
+    if not use_pool:
         raw_by_key: Dict[str, Dict] = {}
         for i, (key, sc) in enumerate(unique.items()):
             raw = raw_result(sc, collect_telemetry)

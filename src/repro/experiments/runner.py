@@ -24,6 +24,7 @@ from ..metrics.records import SimulationResult
 from ..obs.profiling import perf_section
 from ..obs.telemetry import Telemetry
 from ..scheduler.simulator import simulate
+from ..traces import cache as trace_cache
 from ..traces.pipeline import grizzly_workload, synthetic_workload
 from ..traces.workload import Workload
 from .scenarios import Scenario
@@ -104,10 +105,20 @@ def set_cache_limits(
 
 
 def base_workload(scenario: Scenario) -> Workload:
-    """The scenario's generated trace at 0% overestimation (cached)."""
+    """The scenario's generated trace at 0% overestimation (cached).
+
+    Two cache layers: the in-process LRU, and — when the
+    ``REPRO_TRACE_CACHE`` directory is configured — the on-disk cache
+    shared by parallel campaign workers (see :mod:`repro.traces.cache`).
+    """
     key = scenario.workload_key()
     wl = _workload_cache.get(key)
     if wl is not None:
+        return wl
+    disk_key = trace_cache.cache_key("base_workload", *key)
+    wl = trace_cache.load_workload(disk_key)
+    if wl is not None:
+        _workload_cache.put(key, wl)
         return wl
     seed = stable_seed(*scenario.generation_seed_key(), base=1234)
     with perf_section("runner.generate_workload"):
@@ -129,6 +140,7 @@ def base_workload(scenario: Scenario) -> Workload:
                 seed=seed,
             )
     _workload_cache.put(key, wl)
+    trace_cache.store_workload(disk_key, wl)
     return wl
 
 

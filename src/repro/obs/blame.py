@@ -105,6 +105,23 @@ class BlameAccumulator:
         self._reason.pop(jid, None)
 
     # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "wait": {jid: dict(b) for jid, b in self.wait.items()},
+            "total_wait": dict(self.total_wait),
+            "stamp": dict(self._stamp),
+            "reason": dict(self._reason),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.wait = {jid: dict(b) for jid, b in state["wait"].items()}
+        self.total_wait = dict(state["total_wait"])
+        self._stamp = dict(state["stamp"])
+        self._reason = dict(state["reason"])
+
+    # ------------------------------------------------------------------
     def reason_of(self, jid: int) -> Optional[str]:
         return self._reason.get(jid)
 

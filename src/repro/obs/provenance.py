@@ -149,6 +149,33 @@ class ProvenanceLog:
         return eid
 
     # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the log for in-place restore.
+
+        Events are immutable after :meth:`emit`, so the capture shares
+        them; only the container and chaining maps are copied.
+        """
+        return {
+            "events": tuple(self.events),
+            "dropped": self.dropped,
+            "next_eid": self.next_eid,
+            "now": self.now,
+            "scope": self.scope,
+            "last_of": dict(self.last_of),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`snapshot_state` in place (reusable snapshot)."""
+        self.events = deque(state["events"], maxlen=self.max_entries)
+        self.dropped = state["dropped"]
+        self.next_eid = state["next_eid"]
+        self.now = state["now"]
+        self.scope = state["scope"]
+        self.last_of = dict(state["last_of"])
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)
 

@@ -201,6 +201,40 @@ class MetricsRegistry:
         return reg
 
     # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """In-process capture for what-if forks.
+
+        Cheaper than :meth:`to_dict`: the series (the bulky part) is
+        append-only during a run, so only its length is recorded and
+        :meth:`restore_state` truncates back to it.
+        """
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: (g.value, g.last_t) for n, g in self.gauges.items()},
+            "histograms": {
+                n: (h.bounds, tuple(h.counts), h.total, h.count)
+                for n, h in self.histograms.items()
+            },
+            "series_len": len(self.series),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore :meth:`snapshot_state` in place (reusable snapshot)."""
+        self.counters = {n: Counter(n, v) for n, v in state["counters"].items()}
+        self.gauges = {n: Gauge(n, v, t) for n, (v, t) in state["gauges"].items()}
+        hists: Dict[str, Histogram] = {}
+        for n, (bounds, counts, total, count) in state["histograms"].items():
+            h = Histogram(n, bounds)
+            h.counts = list(counts)
+            h.total = total
+            h.count = count
+            hists[n] = h
+        self.histograms = hists
+        del self.series[state["series_len"]:]
+
+    # ------------------------------------------------------------------
     # Merging (parallel workers -> parent)
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:

@@ -191,6 +191,36 @@ class Telemetry:
         self._phase_acc.clear()
 
     # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture the deterministic telemetry state.
+
+        Wall-clock diagnostics (tracer spans, phase accumulators) are
+        excluded — they are already excluded from determinism
+        comparisons, and a fork keeps accumulating into them.  The
+        structured event log is captured by the simulator snapshot (it
+        is shared with the controller).
+        """
+        state: Dict[str, object] = {
+            "registry": self.registry.snapshot_state(),
+            "meta": dict(self.meta),
+        }
+        if self.provenance.enabled:
+            state["provenance"] = self.provenance.snapshot_state()
+        if self.blame is not None:
+            state["blame"] = self.blame.snapshot_state()
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.registry.restore_state(state["registry"])
+        self.meta = dict(state["meta"])
+        if "provenance" in state:
+            self.provenance.restore_state(state["provenance"])
+        if "blame" in state:
+            self.blame.restore_state(state["blame"])
+
+    # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
     def finish(self, result) -> None:

@@ -70,3 +70,18 @@ class AllocationPolicy(ABC):
 
     def on_finish(self, job: Job) -> None:
         """Hook for per-job policy state cleanup."""
+
+    # ------------------------------------------------------------------
+    # What-if snapshot support (see repro.whatif.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Mutable per-run policy state, deep enough to restore from.
+
+        The base policies keep no per-run state beyond the pool (which
+        the snapshot machinery captures separately); stateful policies
+        override this together with :meth:`restore_state`.
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state`, in place."""

@@ -105,6 +105,29 @@ class DynamicDisaggregatedPolicy(StaticDisaggregatedPolicy):
         self._rank_scale_cache.pop(job.jid, None)
 
     # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["pinned"] = set(self._pinned)
+        state["observed_peak"] = dict(self._observed_peak)
+        state["rank_scale_cache"] = {
+            jid: (None if v is None else v.copy())
+            for jid, v in self._rank_scale_cache.items()
+        }
+        # Generator state dicts are built fresh on access; hold as-is.
+        state["monitor_rng"] = self._monitor_rng.bit_generator.state
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._pinned = set(state["pinned"])
+        self._observed_peak = dict(state["observed_peak"])
+        self._rank_scale_cache = {
+            jid: (None if v is None else v.copy())
+            for jid, v in state["rank_scale_cache"].items()
+        }
+        self._monitor_rng.bit_generator.state = state["monitor_rng"]
+
+    # ------------------------------------------------------------------
     def update(self, job: Job, progress: float, window: float) -> UpdateOutcome:
         """One Monitor → Decider → Actuator step for a running job.
 

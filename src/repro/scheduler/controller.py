@@ -312,17 +312,29 @@ class Controller:
             self.cluster.cpu_utilization(),
             self.cluster.total_allocated_mb() / cap if cap else 0.0,
         )
-        if self.running or self.pending or len(self.engine.queue) > 0:
+        if self.running or self.pending or self._has_work_pending():
             self.engine.at(now + self.sample_interval, EventKind.SAMPLE, None)
 
     def _on_telemetry(self, engine: Engine, ev: Event) -> None:
         """Sample the metric gauges on the telemetry cadence."""
         now = engine.now
         self.telemetry.sample_cluster(now, self)
-        if self.running or self.pending or len(self.engine.queue) > 0:
+        if self.running or self.pending or self._has_work_pending():
             self.engine.at(
                 now + self.telemetry.sample_interval, EventKind.TELEMETRY, None
             )
+
+    def _has_work_pending(self) -> bool:
+        """Non-sampler events still queued (future submits, kills, ...).
+
+        The sampler chains must not count *each other* as pending work —
+        with both a SAMPLE and a TELEMETRY chain active, each would see
+        the other's next event and they would reschedule forever after
+        the workload drains.
+        """
+        return self.engine.queue.has_live_excluding(
+            EventKind.SAMPLE, EventKind.TELEMETRY
+        )
 
     # ------------------------------------------------------------------
     # Scheduling pass: FCFS + EASY backfill

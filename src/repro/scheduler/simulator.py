@@ -3,10 +3,20 @@
 :func:`simulate` wires a workload, a system configuration and a policy
 into the event engine and runs the trace to completion — the Python
 equivalent of one Slurm-simulator run (paper Fig. 1b).
+
+:func:`build_simulation` is the two-phase variant behind the what-if
+engine (:mod:`repro.whatif`): it performs all the wiring and workload
+loading but does not run the engine, returning a
+:class:`SimulationHandle` whose :meth:`~SimulationHandle.run_until` /
+:meth:`~SimulationHandle.finish` split lets a caller pause the
+simulation at an arbitrary time, snapshot it, and resume (or replay a
+perturbed suffix).  ``simulate`` is exactly ``build_simulation`` +
+``finish``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..cluster.cluster import Cluster
@@ -23,6 +33,147 @@ from ..slowdown.model import ContentionModel
 from ..slowdown.profiles import AppProfile, profile_pool
 from .controller import Controller
 from .eventlog import EventLog
+
+
+@dataclass
+class SimulationHandle:
+    """A wired, loaded, not-yet-finished simulation.
+
+    Produced by :func:`build_simulation`.  The handle owns no state of
+    its own — it is a named bundle of the engine/controller object graph
+    plus the run-completion logic that :func:`simulate` used to inline.
+    """
+
+    engine: Engine
+    cluster: Cluster
+    policy: AllocationPolicy
+    model: ContentionModel
+    config: SystemConfig
+    controller: Controller
+    telemetry: Optional[Telemetry]
+    event_log: Optional[EventLog]
+    max_events: int
+
+    @property
+    def observed(self) -> bool:
+        return self.telemetry is not None and self.telemetry.enabled
+
+    def run_until(self, until: float, inclusive: bool = True) -> float:
+        """Advance the simulation to time ``until``.
+
+        Events stamped exactly ``until`` are processed unless
+        ``inclusive=False`` (the fork boundary: the what-if engine
+        leaves them for the replayed suffix).  The clock is left at
+        ``until`` (or earlier if the queue drained).  Returns the
+        engine clock.
+        """
+        return self.engine.run(
+            until=until, max_events=self.max_events, inclusive=inclusive
+        )
+
+    def finish(self) -> SimulationResult:
+        """Drain the engine and close the books.
+
+        Replicates the tail of :func:`simulate` exactly (livelock check,
+        invariant check, finalize, meta stamping, telemetry finish) so a
+        paused-and-resumed run produces a byte-identical result to a
+        straight ``simulate`` call.  May be called again after a
+        what-if rollback re-ran the suffix.
+        """
+        with perf_section("simulate.engine_run"):
+            self.engine.run(max_events=self.max_events)
+        controller = self.controller
+        if controller.running or controller.pending:
+            raise SimulationError(
+                f"simulation drained with {len(controller.running)} running "
+                f"and {len(controller.pending)} pending jobs "
+                "(scheduling livelock?)"
+            )
+        self.cluster.check_invariants()
+        result = controller.finalize()
+        result.meta["config"] = self.config
+        if self.event_log is not None:
+            result.meta["event_log"] = self.event_log
+        if self.observed:
+            telemetry = self.telemetry
+            telemetry.event_log = self.event_log
+            # controller.policy (not a captured local): a what-if policy
+            # swap must stamp the policy that actually ran the suffix.
+            telemetry.meta.setdefault("policy", controller.policy.name)
+            telemetry.meta.setdefault("n_nodes", self.cluster.n_nodes)
+            telemetry.meta.setdefault(
+                "total_capacity_mb", self.cluster.total_capacity_mb()
+            )
+            telemetry.finish(result)
+            if telemetry.blame is not None:
+                # Blame decomposition in the result too, so callers (and
+                # the property tests) need not round-trip via export().
+                result.meta["blame"] = telemetry.blame.to_dict()
+        return result
+
+
+def build_simulation(
+    jobs: Iterable[Job],
+    config: SystemConfig,
+    policy: Union[str, AllocationPolicy] = "dynamic",
+    profiles: Optional[Sequence[AppProfile]] = None,
+    model: Optional[ContentionModel] = None,
+    sample_interval: Optional[float] = None,
+    log_events: bool = False,
+    max_events: int = 50_000_000,
+    telemetry: Optional[Telemetry] = None,
+    **policy_kwargs,
+) -> SimulationHandle:
+    """Wire one simulation and load its workload without running it.
+
+    Same parameters as :func:`simulate`.  ``max_events`` bounds each
+    subsequent engine run (``run_until``/``finish``) rather than the
+    whole lifetime.
+    """
+    engine = Engine()
+    if isinstance(policy, str):
+        cluster = Cluster(config)
+        pol = make_policy(policy, cluster, **policy_kwargs)
+    else:
+        # A ready-made policy brings its own cluster; it must match config.
+        pol = policy
+        cluster = pol.cluster
+        if cluster.config != config:
+            raise SimulationError(
+                "policy instance's cluster config differs from the config "
+                "passed to simulate()"
+            )
+    if model is None:
+        model = ContentionModel(
+            profiles if profiles is not None else profile_pool(),
+            node_bw_gbps=config.node_bw_gbps,
+        )
+    observed = telemetry is not None and telemetry.enabled
+    if log_events:
+        event_log = EventLog()
+    elif observed:
+        # Telemetry wants the event log for `repro trace`, but bounded:
+        # long campaigns must not grow without limit.
+        event_log = EventLog(max_entries=telemetry.max_log_entries)
+    else:
+        event_log = None
+    controller = Controller(
+        engine, cluster, pol, model, config,
+        sample_interval=sample_interval, event_log=event_log,
+        telemetry=telemetry,
+    )
+    controller.load(jobs)
+    return SimulationHandle(
+        engine=engine,
+        cluster=cluster,
+        policy=pol,
+        model=model,
+        config=config,
+        controller=controller,
+        telemetry=telemetry,
+        event_log=event_log,
+        max_events=max_events,
+    )
 
 
 def simulate(
@@ -68,61 +219,9 @@ def simulate(
         per-job wait blame (``result.meta["blame"]``, ``repro explain``).
         ``None`` (default) keeps every hook a no-op.
     """
-    engine = Engine()
-    if isinstance(policy, str):
-        cluster = Cluster(config)
-        pol = make_policy(policy, cluster, **policy_kwargs)
-    else:
-        # A ready-made policy brings its own cluster; it must match config.
-        pol = policy
-        cluster = pol.cluster
-        if cluster.config != config:
-            raise SimulationError(
-                "policy instance's cluster config differs from the config "
-                "passed to simulate()"
-            )
-    if model is None:
-        model = ContentionModel(
-            profiles if profiles is not None else profile_pool(),
-            node_bw_gbps=config.node_bw_gbps,
-        )
-    observed = telemetry is not None and telemetry.enabled
-    if log_events:
-        event_log = EventLog()
-    elif observed:
-        # Telemetry wants the event log for `repro trace`, but bounded:
-        # long campaigns must not grow without limit.
-        event_log = EventLog(max_entries=telemetry.max_log_entries)
-    else:
-        event_log = None
-    controller = Controller(
-        engine, cluster, pol, model, config,
-        sample_interval=sample_interval, event_log=event_log,
-        telemetry=telemetry,
+    handle = build_simulation(
+        jobs, config, policy=policy, profiles=profiles, model=model,
+        sample_interval=sample_interval, log_events=log_events,
+        max_events=max_events, telemetry=telemetry, **policy_kwargs,
     )
-    controller.load(jobs)
-    with perf_section("simulate.engine_run"):
-        engine.run(max_events=max_events)
-    if controller.running or controller.pending:
-        raise SimulationError(
-            f"simulation drained with {len(controller.running)} running and "
-            f"{len(controller.pending)} pending jobs (scheduling livelock?)"
-        )
-    cluster.check_invariants()
-    result = controller.finalize()
-    result.meta["config"] = config
-    if event_log is not None:
-        result.meta["event_log"] = event_log
-    if observed:
-        telemetry.event_log = event_log
-        telemetry.meta.setdefault("policy", pol.name)
-        telemetry.meta.setdefault("n_nodes", cluster.n_nodes)
-        telemetry.meta.setdefault(
-            "total_capacity_mb", cluster.total_capacity_mb()
-        )
-        telemetry.finish(result)
-        if telemetry.blame is not None:
-            # Blame decomposition in the result too, so callers (and the
-            # property tests) need not round-trip through export().
-            result.meta["blame"] = telemetry.blame.to_dict()
-    return result
+    return handle.finish()

@@ -1,0 +1,105 @@
+"""On-disk workload cache shared across processes.
+
+Campaign grids regenerate identical traces once per pool worker — the
+in-process LRU in :mod:`repro.experiments.runner` cannot help across
+process boundaries.  Pointing :data:`TRACE_CACHE_ENV` at a directory
+(e.g. via ``repro campaign --trace-cache DIR``) makes every generated
+:class:`~repro.traces.workload.Workload` land on disk keyed by its full
+generation-parameter tuple, so parallel workers (which inherit the
+environment) deserialize instead of re-running the generation pipeline.
+
+Entries are written atomically (tmp file + rename) so concurrent
+workers racing on the same key are safe: last writer wins with an
+identical payload.  Unreadable/corrupt entries are treated as misses
+and regenerated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .workload import Workload
+
+__all__ = [
+    "TRACE_CACHE_ENV",
+    "cache_dir",
+    "cache_key",
+    "load_workload",
+    "store_workload",
+]
+
+#: Environment variable naming the cache directory (unset = disabled).
+#: An env var rather than a parameter so ProcessPoolExecutor children
+#: inherit it without any initializer plumbing.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: Bump when the generation pipeline changes incompatibly — old cache
+#: entries then miss instead of resurrecting stale traces.
+_FORMAT_VERSION = 1
+
+
+def cache_dir() -> Optional[Path]:
+    """The configured cache directory, or ``None`` when disabled."""
+    path = os.environ.get(TRACE_CACHE_ENV)
+    return Path(path) if path else None
+
+
+def cache_key(*params: object) -> str:
+    """Stable digest of a generation-parameter tuple.
+
+    Parameters must have deterministic ``repr`` (strings, ints, floats,
+    tuples — exactly what scenario keys are made of).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((_FORMAT_VERSION,) + params).encode())
+    return h.hexdigest()
+
+
+def _entry_path(directory: Path, key: str) -> Path:
+    return directory / f"trace-{key}.pkl"
+
+
+def load_workload(key: str) -> Optional[Workload]:
+    """The cached workload for ``key``, or ``None`` (disabled/miss)."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    path = _entry_path(directory, key)
+    try:
+        with open(path, "rb") as fh:
+            wl = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    return wl if isinstance(wl, Workload) else None
+
+
+def store_workload(key: str, workload: Workload) -> bool:
+    """Persist ``workload`` under ``key``; returns whether it was written.
+
+    Atomic: a same-directory temp file is renamed over the final name,
+    so readers never observe a partial pickle.
+    """
+    directory = cache_dir()
+    if directory is None:
+        return False
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(workload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, _entry_path(directory, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False  # unwritable cache dir: degrade to regeneration
+    return True

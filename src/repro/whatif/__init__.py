@@ -1,0 +1,30 @@
+"""Copy-on-write simulation snapshots and the what-if query engine.
+
+See ``docs/WHATIF.md``.  The pieces:
+
+* :class:`SimSnapshot` — freeze/rewind a paused simulation in
+  O(changed) via the columnar copy-on-write page store;
+* :class:`Perturbation` subclasses (:class:`SubmitJob`,
+  :class:`SwapPolicy`, :class:`AddMemNodes`) — the counterfactual edits;
+* :func:`fork` — low-level rewind + apply;
+* :class:`WhatIf` / :class:`WhatIfReport` — the session API behind
+  ``repro whatif``, with LRU fork-result memoization
+  (:class:`ForkCache`).
+"""
+
+from .api import WhatIf, WhatIfReport, fork
+from .cache import ForkCache
+from .perturb import AddMemNodes, Perturbation, SubmitJob, SwapPolicy
+from .snapshot import SimSnapshot
+
+__all__ = [
+    "AddMemNodes",
+    "ForkCache",
+    "Perturbation",
+    "SimSnapshot",
+    "SubmitJob",
+    "SwapPolicy",
+    "WhatIf",
+    "WhatIfReport",
+    "fork",
+]

@@ -1,0 +1,68 @@
+"""A bounded LRU cache of fork results.
+
+Keyed by ``(snapshot.content_key, perturbation.key())`` — two forks from
+byte-identical states with the same perturbation must produce the same
+deltas (the simulator is deterministic), so the second query returns the
+memoized :class:`repro.whatif.api.WhatIfReport` without replaying the
+suffix.  Bounded (LRU eviction) because reports carry a detached result
+copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["ForkCache"]
+
+DEFAULT_CAPACITY = 32
+
+
+class ForkCache:
+    """Least-recently-used map of ``(state, perturbation) -> report``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Hashable, ...], object]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[Hashable, ...], value: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
